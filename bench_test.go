@@ -1,0 +1,245 @@
+// Package repro's root benchmarks regenerate every table and figure of the
+// paper's evaluation (§VI, Figures 7–10) plus the DESIGN.md ablations, one
+// benchmark per artifact. Benchmarks run a shrunken-but-structurally-
+// identical grid so `go test -bench=.` completes in minutes; the
+// full-scale harness is `go run ./cmd/custodybench -fig all` (or
+// `go test ./internal/experiments -run TestPaperSweepShapes`).
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+// benchOpts is the shrunken grid configuration used by the figure benches.
+func benchOpts() experiments.Options {
+	o := experiments.DefaultOptions()
+	o.Quick = true // 6 jobs per app instead of 30
+	return o
+}
+
+// benchSweep runs a one-size paper grid (all three workloads, both
+// managers).
+func benchSweep(b *testing.B, size int) *experiments.Sweep {
+	b.Helper()
+	sw, err := experiments.RunSweep([]int{size}, workload.Kinds(),
+		[]experiments.ManagerKind{experiments.Standalone, experiments.Custody}, benchOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sw
+}
+
+// BenchmarkFig7Locality regenerates Fig. 7: percentage of local input tasks
+// per job, Custody vs Spark standalone.
+func BenchmarkFig7Locality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sw := benchSweep(b, 25)
+		tbl := sw.Fig7()
+		if len(tbl.Rows) != 3 {
+			b.Fatalf("Fig7 rows = %d", len(tbl.Rows))
+		}
+	}
+}
+
+// BenchmarkFig8JCT regenerates Fig. 8: average job completion times.
+func BenchmarkFig8JCT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sw := benchSweep(b, 50)
+		tbl := sw.Fig8()
+		if len(tbl.Rows) != 3 {
+			b.Fatalf("Fig8 rows = %d", len(tbl.Rows))
+		}
+	}
+}
+
+// BenchmarkFig9InputStage regenerates Fig. 9: input (map) stage completion
+// times on the largest cluster.
+func BenchmarkFig9InputStage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sw := benchSweep(b, 100)
+		tbl := sw.Fig9()
+		if len(tbl.Rows) != 3 {
+			b.Fatalf("Fig9 rows = %d", len(tbl.Rows))
+		}
+	}
+}
+
+// BenchmarkFig10SchedulerDelay regenerates Fig. 10: per-task scheduler
+// delay.
+func BenchmarkFig10SchedulerDelay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sw := benchSweep(b, 100)
+		tbl := sw.Fig10()
+		if len(tbl.Rows) != 3 {
+			b.Fatalf("Fig10 rows = %d", len(tbl.Rows))
+		}
+	}
+}
+
+// BenchmarkAblationApprox regenerates ablation A1: Algorithm 2's greedy vs
+// the exact optimum and the §III fractional bound.
+func BenchmarkAblationApprox(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunApprox(40, 1)
+		if res.MinRatio < 0.5 {
+			b.Fatalf("2-approximation bound violated: %v", res.MinRatio)
+		}
+	}
+}
+
+// BenchmarkAblationIntra regenerates ablation A2: priority vs fairness
+// intra-application strategy under scarce budgets (Fig. 4–5 at scale).
+func BenchmarkAblationIntra(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opts := benchOpts()
+		res, err := experiments.RunIntra(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 2 {
+			b.Fatalf("rows = %d", len(res.Rows))
+		}
+	}
+}
+
+// BenchmarkAblationScarlett regenerates ablation A3: popularity-based
+// replication (Scarlett, §VII) under skewed access patterns.
+func BenchmarkAblationScarlett(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunScarlett(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 4 {
+			b.Fatalf("rows = %d", len(res.Rows))
+		}
+	}
+}
+
+// BenchmarkAblationOffer regenerates ablation A4: Mesos-like offer-based
+// sharing vs Custody (§II-A).
+func BenchmarkAblationOffer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunOffer(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 3 {
+			b.Fatalf("rows = %d", len(res.Rows))
+		}
+	}
+}
+
+// BenchmarkAblationDelayWait regenerates ablation A5: the delay-scheduling
+// locality-wait sweep.
+func BenchmarkAblationDelayWait(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunWait(benchOpts(), []float64{0, 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 4 {
+			b.Fatalf("rows = %d", len(res.Rows))
+		}
+	}
+}
+
+// BenchmarkAblationSpeculation regenerates ablation A6: speculative
+// execution under high compute variance.
+func BenchmarkAblationSpeculation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunSpeculation(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 2 {
+			b.Fatalf("rows = %d", len(res.Rows))
+		}
+	}
+}
+
+// BenchmarkAblationManagers regenerates ablation A7: the four
+// cluster-manager families side by side (locality, JCT, utilization).
+func BenchmarkAblationManagers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunManagers(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 4 {
+			b.Fatalf("rows = %d", len(res.Rows))
+		}
+	}
+}
+
+// BenchmarkAblationSchedulers regenerates ablation A8: task schedulers ×
+// managers.
+func BenchmarkAblationSchedulers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunSchedulers(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 8 {
+			b.Fatalf("rows = %d", len(res.Rows))
+		}
+	}
+}
+
+// BenchmarkAblationFailures regenerates ablation A9: node failures mid-run.
+func BenchmarkAblationFailures(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFailures(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 4 {
+			b.Fatalf("rows = %d", len(res.Rows))
+		}
+	}
+}
+
+// BenchmarkAblationSelectors regenerates ablation A10: replica-selection
+// policies for non-local reads.
+func BenchmarkAblationSelectors(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunSelectors(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 6 {
+			b.Fatalf("rows = %d", len(res.Rows))
+		}
+	}
+}
+
+// BenchmarkAblationHetero regenerates ablation A11: heterogeneous node
+// speeds with and without speculation.
+func BenchmarkAblationHetero(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunHetero(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 6 {
+			b.Fatalf("rows = %d", len(res.Rows))
+		}
+	}
+}
+
+// BenchmarkAblationHints regenerates ablation A12: Custody's scheduling
+// suggestions honored vs ignored.
+func BenchmarkAblationHints(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunHints(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 2 {
+			b.Fatalf("rows = %d", len(res.Rows))
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Command custodysim runs one cluster simulation and prints its metrics.
+//
+// Example:
+//
+//	custodysim -nodes 100 -manager custody -workload Sort -jobs 30 -apps 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/custody"
+	"repro/internal/metrics"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		nodes    = flag.Int("nodes", 100, "worker nodes in the cluster")
+		execs    = flag.Int("executors", 2, "executors per node")
+		slots    = flag.Int("slots", 4, "task slots per executor")
+		mgr      = flag.String("manager", "custody", "cluster manager: custody | spark | yarn | offer")
+		wl       = flag.String("workload", "WordCount", "workload: WordCount | Sort | PageRank")
+		apps     = flag.Int("apps", 4, "number of applications")
+		jobs     = flag.Int("jobs", 30, "jobs per application")
+		arrival  = flag.Float64("arrival", 4.0, "mean job inter-arrival time (s)")
+		wait     = flag.Float64("wait", 3.0, "delay-scheduling locality wait (s)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		spec     = flag.Bool("speculation", false, "enable speculative execution")
+		sched    = flag.String("scheduler", "delay", "task scheduler: delay | delay-taskset | fifo | locality-hard | quincy")
+		traceOut = flag.String("trace", "", "write an execution-timeline CSV to this file")
+		verbose  = flag.Bool("v", false, "print per-workload breakdown")
+	)
+	flag.Parse()
+
+	cfg := custody.Config{
+		Nodes:            *nodes,
+		ExecutorsPerNode: *execs,
+		SlotsPerExecutor: *slots,
+		Seed:             *seed,
+		Manager:          custody.ManagerName(*mgr),
+		Scheduler:        *sched,
+		LocalityWaitSec:  *wait,
+		Speculation:      *spec,
+		Trace:            *traceOut != "",
+	}
+	w := custody.Workload{
+		Kind:             *wl,
+		Apps:             *apps,
+		JobsPerApp:       *jobs,
+		MeanInterarrival: *arrival,
+		Seed:             *seed,
+	}
+	res, err := custody.Run(cfg, w)
+	if err != nil {
+		log.Printf("custodysim: %v", err)
+		os.Exit(1)
+	}
+	col := res.Collector
+	fmt.Printf("manager=%s workload=%s nodes=%d apps=%d jobs=%d seed=%d\n",
+		*mgr, *wl, *nodes, *apps, res.Jobs(), *seed)
+	fmt.Printf("  locality (per job):   %s\n", metrics.Summarize(col.LocalityPerJob()))
+	fmt.Printf("  job completion (s):   %s\n", metrics.Summarize(col.JobCompletionTimes()))
+	fmt.Printf("  input stage (s):      %s\n", metrics.Summarize(col.InputStageTimes()))
+	fmt.Printf("  scheduler delay (s):  %s\n", metrics.Summarize(col.SchedulerDelays()))
+	fmt.Printf("  perfectly local jobs: %.3f   min-app locality: %.3f   Jain fairness: %.3f\n",
+		col.PctLocalJobs(), col.MinAppLocality(), col.JainFairness())
+	fmt.Printf("  reallocations=%d migrations=%d offer-rejections=%d\n",
+		col.Reallocations, col.ExecutorMigrations, col.OfferRejections)
+	if *verbose {
+		for name, c := range col.PerApp() {
+			fmt.Printf("  app %d: localJobs=%.3f jct=%.2fs\n", name,
+				c.PctLocalJobs(), metrics.Summarize(c.JobCompletionTimes()).Mean)
+		}
+	}
+	if *traceOut != "" && res.Trace != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Printf("custodysim: %v", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := res.Trace.WriteCSV(f); err != nil {
+			log.Printf("custodysim: %v", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  trace: %d events → %s (utilization %.3f)\n",
+			len(res.Trace.Events), *traceOut,
+			res.Trace.Utilization(*nodes**execs**slots))
+	}
+}

@@ -1,0 +1,72 @@
+// Ablation: compare Custody's greedy intra-application allocation
+// (Algorithm 2, a 2-approximation) against the exact optimum and the
+// fractional maximum-concurrent-flow upper bound of §III on a randomized
+// contended scenario.
+//
+// Run with:
+//
+//	go run ./examples/ablation
+package main
+
+import (
+	"fmt"
+
+	"repro/custody"
+	"repro/internal/xrand"
+)
+
+func main() {
+	rng := xrand.New(2026)
+	const nodes = 16
+
+	var idle []custody.ExecInfo
+	for n := 0; n < nodes; n++ {
+		idle = append(idle, custody.ExecInfo{ID: n, Node: n})
+	}
+
+	// One application, five jobs of varying widths, replicas on 1–2 nodes.
+	var jobs []custody.JobDemand
+	block := 0
+	for j := 0; j < 5; j++ {
+		jd := custody.JobDemand{Job: j}
+		width := rng.IntRange(1, 5)
+		for k := 0; k < width; k++ {
+			jd.Tasks = append(jd.Tasks, custody.TaskDemand{
+				Task: k, Block: custody.BlockID(block), Nodes: rng.Sample(nodes, rng.IntRange(1, 2)),
+			})
+			block++
+		}
+		jobs = append(jobs, jd)
+	}
+	budget := block/2 + 1
+
+	fmt.Printf("instance: %d tasks in 5 jobs, %d executors, budget σ=%d\n\n", block, nodes, budget)
+
+	// Greedy (Algorithm 2) via the public allocator.
+	plan := custody.Allocate(
+		[]custody.AppDemand{{App: 0, Budget: budget, Jobs: jobs}},
+		idle, custody.AllocateOptions{})
+	perJob := map[int]int{}
+	greedyObj := 0.0
+	for _, a := range plan.Assignments {
+		if a.Local {
+			perJob[a.Job]++
+		}
+	}
+	localJobs := 0
+	for _, jd := range jobs {
+		greedyObj += float64(perJob[jd.Job]) / float64(len(jd.Tasks))
+		if perJob[jd.Job] == len(jd.Tasks) {
+			localJobs++
+		}
+	}
+
+	opt := custody.OptimalIntraObjective(jobs, idle, budget)
+	frac := custody.FractionalMaxMin(
+		[]custody.AppDemand{{App: 0, Budget: budget, Jobs: jobs}}, idle, 1e-4)
+
+	fmt.Printf("greedy objective (Σ local/µ): %.3f   perfectly local jobs: %d/5\n", greedyObj, localJobs)
+	fmt.Printf("optimal objective:            %.3f\n", opt)
+	fmt.Printf("greedy/optimal ratio:         %.3f  (2-approximation guarantees ≥ 0.500)\n", greedyObj/opt)
+	fmt.Printf("fractional max-min bound λ*:  %.3f  (no allocation can beat this)\n", frac)
+}

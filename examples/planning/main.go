@@ -1,0 +1,87 @@
+// Planning: use the paper's theory machinery for capacity planning — given
+// a demand snapshot, how many executors does each application need before
+// full locality is even *possible*? The fractional maximum-concurrent-flow
+// bound (§III-B) answers this before running anything, and the Fig. 2
+// network's structure shows exactly which tasks can never be local.
+//
+// Run with:
+//
+//	go run ./examples/planning
+package main
+
+import (
+	"fmt"
+
+	"repro/custody"
+	"repro/internal/xrand"
+)
+
+func main() {
+	rng := xrand.New(99)
+	const nodes = 20
+
+	// Demand: two analytics teams, each with a batch of jobs whose blocks
+	// are scattered over the cluster.
+	var apps []custody.AppDemand
+	block := 0
+	for a := 0; a < 2; a++ {
+		ad := custody.AppDemand{App: a, Budget: nodes}
+		for j := 0; j < 3; j++ {
+			jd := custody.JobDemand{Job: j}
+			for k := 0; k < 4; k++ {
+				jd.Tasks = append(jd.Tasks, custody.TaskDemand{
+					Task: k, Block: custody.BlockID(block),
+					Nodes: rng.Sample(nodes, 3), // 3 replicas each
+				})
+				block++
+			}
+			ad.Jobs = append(ad.Jobs, jd)
+		}
+		apps = append(apps, ad)
+	}
+
+	// Sweep the executor pool size: how much capacity is needed before the
+	// fractional bound (an upper limit on ANY allocator) reaches 1.0, and
+	// how much before Custody's heuristic actually delivers it?
+	fmt.Println("executors   λ* (fractional bound)   Custody min-local-task fraction")
+	for pool := 4; pool <= nodes; pool += 4 {
+		var idle []custody.ExecInfo
+		for i := 0; i < pool; i++ {
+			idle = append(idle, custody.ExecInfo{ID: i, Node: i * nodes / pool})
+		}
+		bound := custody.FractionalMaxMin(apps, idle, 1e-3)
+
+		plan := custody.Allocate(apps, idle, custody.AllocateOptions{})
+		perApp := map[int]int{}
+		for _, as := range plan.Assignments {
+			if as.Local {
+				perApp[as.App]++
+			}
+		}
+		worst := 1.0
+		for _, a := range apps {
+			total := 0
+			for _, j := range a.Jobs {
+				total += len(j.Tasks)
+			}
+			frac := float64(perApp[a.App]) / float64(total)
+			if frac < worst {
+				worst = frac
+			}
+		}
+		fmt.Printf("%9d %22.3f %33.3f\n", pool, bound, worst)
+	}
+
+	// Diagnose structural gaps with the Fig. 2 network.
+	var idle []custody.ExecInfo
+	for i := 0; i < nodes; i += 2 { // executors only on even nodes
+		idle = append(idle, custody.ExecInfo{ID: i, Node: i})
+	}
+	net := custody.BuildLocalityNetwork(apps, idle)
+	fmt.Printf("\nwith executors on even nodes only: %d/%d tasks have no local option:\n",
+		len(net.UnservableTasks()), net.Tasks())
+	for _, label := range net.UnservableTasks() {
+		fmt.Printf("  %s (all replicas on odd nodes)\n", label)
+	}
+	fmt.Println("\n(render the full network with Graphviz: custody.BuildLocalityNetwork(...).DOT())")
+}

@@ -1,0 +1,425 @@
+package core
+
+import (
+	"sort"
+)
+
+// Allocate runs Custody's two-level data-aware allocation (Algorithms 1 and
+// 2) over a snapshot of application demands and idle executors, returning
+// the executor assignments. Deterministic: ties are broken by identifiers.
+func Allocate(apps []AppDemand, idle []ExecInfo, opts Options) Plan {
+	st := newAllocator(apps, idle, opts)
+	st.run()
+	return Plan{Assignments: st.plan}
+}
+
+// allocator is the mutable working state of one allocation round.
+type allocator struct {
+	opts Options
+	apps []*appState
+	pool *execPool
+	plan []Assignment
+}
+
+type appState struct {
+	d    AppDemand
+	held int
+	jobs []*jobState
+
+	newLocalJobs  int
+	newLocalTasks int
+	fillGiven     int
+	exhausted     bool // no further useful allocation possible this round
+}
+
+// fillWant returns how many more slots the app can justify in the fill
+// phase: one per still-unsatisfied input task plus one per no-preference
+// pending task. The executor budget is enforced at take time (slots on
+// already-claimed executors are budget-free).
+func (a *appState) fillWant() int {
+	want := a.d.ExtraTasks
+	for _, j := range a.jobs {
+		want += j.remaining
+	}
+	want -= a.fillGiven
+	if want < 0 {
+		return 0
+	}
+	return want
+}
+
+type jobState struct {
+	d         JobDemand
+	satisfied []bool
+	remaining int
+}
+
+func newAllocator(apps []AppDemand, idle []ExecInfo, opts Options) *allocator {
+	if opts.Intra == nil {
+		opts.Intra = PriorityIntra{}
+	}
+	st := &allocator{opts: opts, pool: newExecPool(idle)}
+	for _, d := range apps {
+		a := &appState{d: d, held: d.Held}
+		for _, jd := range d.Jobs {
+			a.jobs = append(a.jobs, &jobState{
+				d:         jd,
+				satisfied: make([]bool, len(jd.Tasks)),
+				remaining: len(jd.Tasks),
+			})
+		}
+		st.apps = append(st.apps, a)
+	}
+	return st
+}
+
+// pctLocalJobs is the fairness metric of Algorithm 1: the fraction of the
+// app's jobs (history + this round's pending jobs) that achieve perfect
+// locality. Apps with no jobs at all count as fully satisfied.
+func (a *appState) pctLocalJobs() float64 {
+	den := a.d.TotalJobs + len(a.jobs)
+	if den == 0 {
+		return 1
+	}
+	return float64(a.d.LocalJobs+a.newLocalJobs) / float64(den)
+}
+
+// pctLocalTasks is Algorithm 1's tie-breaker.
+func (a *appState) pctLocalTasks() float64 {
+	den := a.d.TotalTasks
+	for _, j := range a.jobs {
+		den += len(j.d.Tasks)
+	}
+	if den == 0 {
+		return 1
+	}
+	return float64(a.d.LocalTasks+a.newLocalTasks) / float64(den)
+}
+
+// allowNew reports whether the app may claim a previously-unreserved
+// executor under its budget σ_i.
+func (a *appState) allowNew() bool { return a.held < a.d.Budget }
+
+// wants reports whether the app can take another locality-carrying slot
+// this round.
+func (st *allocator) wants(a *appState) bool {
+	if a.exhausted || st.pool.size == 0 {
+		return false
+	}
+	for _, j := range a.jobs {
+		for i, t := range j.d.Tasks {
+			if j.satisfied[i] {
+				continue
+			}
+			if st.pool.hasOnAny(t.Nodes, a.d.App, a.allowNew()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// minLocality implements procedure MINLOCALITY: among the apps that still
+// want executors, return the one with the lowest percentage of local jobs,
+// breaking ties by percentage of local tasks, then app ID.
+func (st *allocator) minLocality() *appState {
+	var best *appState
+	for _, a := range st.apps {
+		if !st.wants(a) {
+			continue
+		}
+		if best == nil || less(a, best) {
+			best = a
+		}
+	}
+	return best
+}
+
+func less(a, b *appState) bool {
+	pa, pb := a.pctLocalJobs(), b.pctLocalJobs()
+	if pa != pb {
+		return pa < pb
+	}
+	ta, tb := a.pctLocalTasks(), b.pctLocalTasks()
+	if ta != tb {
+		return ta < tb
+	}
+	return a.d.App < b.d.App
+}
+
+// run is procedure INTER-APP FAIRNESS (Algorithm 1): while idle executors
+// remain, hand the least-localized application to the intra-app allocator;
+// once no locality demand can be met, distribute leftovers (fill phase).
+func (st *allocator) run() {
+	for st.pool.size > 0 {
+		a := st.minLocality()
+		if a == nil {
+			break
+		}
+		before := len(st.plan)
+		st.opts.Intra.allocate(st, a)
+		if len(st.plan) == before {
+			// No progress: nothing in the pool is useful to this app.
+			a.exhausted = true
+		}
+	}
+	if st.opts.FillToBudget {
+		st.fill()
+	}
+}
+
+// fill hands leftover slots to applications that still have pending tasks,
+// least-localized first, one slot per pending task.
+func (st *allocator) fill() {
+	blocked := map[int]bool{}
+	for st.pool.size > 0 {
+		var best *appState
+		for _, a := range st.apps {
+			if blocked[a.d.App] || a.fillWant() <= 0 {
+				continue
+			}
+			if best == nil || less(a, best) {
+				best = a
+			}
+		}
+		if best == nil {
+			return
+		}
+		e, newExec, ok := st.pool.takeAny(best.d.App, best.allowNew())
+		if !ok {
+			blocked[best.d.App] = true
+			continue
+		}
+		st.assign(best, e, nil, 0, false, newExec)
+		best.fillGiven++
+	}
+}
+
+// assign records the allocation of one executor slot and updates locality
+// state. newExec marks the first slot claimed on an executor, which is the
+// unit the budget σ_i counts.
+func (st *allocator) assign(a *appState, e ExecInfo, j *jobState, taskIdx int, local, newExec bool) {
+	as := Assignment{App: a.d.App, Exec: e.ID, Node: e.Node}
+	if j != nil {
+		as.Job = j.d.Job
+		as.Task = j.d.Tasks[taskIdx].Task
+		as.Block = j.d.Tasks[taskIdx].Block
+		as.Local = local
+		if local && !j.satisfied[taskIdx] {
+			j.satisfied[taskIdx] = true
+			j.remaining--
+			a.newLocalTasks++
+			if j.remaining == 0 {
+				a.newLocalJobs++
+			}
+		}
+	} else {
+		as.Job = -1
+		as.Task = -1
+		as.Block = -1
+	}
+	if newExec {
+		a.held++
+	}
+	st.plan = append(st.plan, as)
+}
+
+// IntraStrategy selects the executors an application receives once
+// Algorithm 1 has picked it.
+type IntraStrategy interface {
+	Name() string
+	// allocate assigns executors from st.pool to a. It must return when the
+	// app stops being the minimum-locality app (Algorithm 2's
+	// ALLOCATEEXECUTOR flag), when the budget is exhausted, or when no
+	// useful executor remains.
+	allocate(st *allocator, a *appState)
+}
+
+// PriorityIntra is the paper's Algorithm 2: jobs sorted by number of
+// unsatisfied input tasks ascending; all of a job's demands are served
+// before the next job ("apply for all the desired executors of a job before
+// moving to the next job"). The budget-fill loop of lines 17–20 runs later,
+// in the allocator's shared fill phase (see Options.FillToBudget).
+type PriorityIntra struct{}
+
+// Name implements IntraStrategy.
+func (PriorityIntra) Name() string { return "priority" }
+
+func (PriorityIntra) allocate(st *allocator, a *appState) {
+	jobs := append([]*jobState(nil), a.jobs...)
+	sort.SliceStable(jobs, func(i, j int) bool {
+		if jobs[i].remaining != jobs[j].remaining {
+			return jobs[i].remaining < jobs[j].remaining
+		}
+		return jobs[i].d.Job < jobs[j].d.Job
+	})
+	for _, j := range jobs {
+		for ti := range j.d.Tasks {
+			if j.satisfied[ti] {
+				continue
+			}
+			e, newExec, ok := st.pool.takeOnAny(j.d.Tasks[ti].Nodes, a.d.App, a.allowNew())
+			if !ok {
+				continue // no available executor stores this task's input
+			}
+			st.assign(a, e, j, ti, true, newExec)
+			if st.minLocality() != a {
+				return // yield to a now-less-localized application
+			}
+		}
+	}
+}
+
+// FairnessIntra is the strawman of Fig. 4: it round-robins over jobs giving
+// each one local task per pass, spreading locality thin so no job becomes
+// fully local. Used by the ablation benchmarks.
+type FairnessIntra struct{}
+
+// Name implements IntraStrategy.
+func (FairnessIntra) Name() string { return "fairness" }
+
+func (FairnessIntra) allocate(st *allocator, a *appState) {
+	progress := true
+	for progress {
+		progress = false
+		for _, j := range a.jobs {
+			// One unsatisfied task per job per pass.
+			for ti := range j.d.Tasks {
+				if j.satisfied[ti] {
+					continue
+				}
+				e, newExec, ok := st.pool.takeOnAny(j.d.Tasks[ti].Nodes, a.d.App, a.allowNew())
+				if !ok {
+					continue
+				}
+				st.assign(a, e, j, ti, true, newExec)
+				progress = true
+				if st.minLocality() != a {
+					return
+				}
+				break
+			}
+		}
+	}
+}
+
+// poolExec is one idle executor's state inside the pool. Once a slot is
+// taken by an application, the executor is reserved: its remaining slots may
+// only serve the same application (an executor belongs to one app,
+// constraint (2)).
+type poolExec struct {
+	info     ExecInfo
+	free     int
+	reserved int // app ID, or -1 when unreserved
+}
+
+// execPool indexes idle executor slots by node for locality lookups.
+type execPool struct {
+	byNode map[int][]*poolExec // per node, sorted by executor ID
+	order  []int               // node ids with executors, kept sorted
+	size   int                 // total free slots
+}
+
+func newExecPool(idle []ExecInfo) *execPool {
+	p := &execPool{byNode: map[int][]*poolExec{}}
+	sorted := append([]ExecInfo(nil), idle...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	for _, e := range sorted {
+		pe := &poolExec{info: e, free: e.slots(), reserved: -1}
+		p.byNode[e.Node] = append(p.byNode[e.Node], pe)
+		p.size += pe.free
+	}
+	for n := range p.byNode {
+		p.order = append(p.order, n)
+	}
+	sort.Ints(p.order)
+	return p
+}
+
+// usable reports whether the entry can serve the app under the budget rule.
+func (pe *poolExec) usable(app int, allowNew bool) bool {
+	if pe.free <= 0 {
+		return false
+	}
+	if pe.reserved == app {
+		return true
+	}
+	return pe.reserved == -1 && allowNew
+}
+
+// hasOnAny reports whether the app could take a slot on one of the nodes.
+func (p *execPool) hasOnAny(nodes []int, app int, allowNew bool) bool {
+	for _, n := range nodes {
+		for _, pe := range p.byNode[n] {
+			if pe.usable(app, allowNew) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// takeOnAny takes one slot on one of the given nodes for the app. Slots on
+// executors already reserved for the app are preferred (they are free with
+// respect to the budget); ties break toward the lowest executor ID.
+// newExec reports whether a previously-unreserved executor was claimed.
+func (p *execPool) takeOnAny(nodes []int, app int, allowNew bool) (e ExecInfo, newExec, ok bool) {
+	var best *poolExec
+	seen := map[int]bool{}
+	for _, n := range nodes {
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		for _, pe := range p.byNode[n] {
+			if !pe.usable(app, allowNew) {
+				continue
+			}
+			if best == nil || betterPick(pe, best, app) {
+				best = pe
+			}
+		}
+	}
+	if best == nil {
+		return ExecInfo{}, false, false
+	}
+	return p.takeSlot(best, app)
+}
+
+// takeAny takes one slot anywhere for the app.
+func (p *execPool) takeAny(app int, allowNew bool) (e ExecInfo, newExec, ok bool) {
+	var best *poolExec
+	for _, n := range p.order {
+		for _, pe := range p.byNode[n] {
+			if !pe.usable(app, allowNew) {
+				continue
+			}
+			if best == nil || betterPick(pe, best, app) {
+				best = pe
+			}
+		}
+	}
+	if best == nil {
+		return ExecInfo{}, false, false
+	}
+	return p.takeSlot(best, app)
+}
+
+// betterPick orders candidates: app-reserved executors first (no budget
+// cost), then lowest executor ID.
+func betterPick(a, b *poolExec, app int) bool {
+	ar := a.reserved == app
+	br := b.reserved == app
+	if ar != br {
+		return ar
+	}
+	return a.info.ID < b.info.ID
+}
+
+func (p *execPool) takeSlot(pe *poolExec, app int) (ExecInfo, bool, bool) {
+	newExec := pe.reserved == -1
+	pe.reserved = app
+	pe.free--
+	p.size--
+	return pe.info, newExec, true
+}

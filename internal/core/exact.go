@@ -1,0 +1,165 @@
+package core
+
+import (
+	"repro/internal/matching"
+)
+
+// ExactJobLevelMaxMin solves the job-level data-aware sharing problem of
+// Eq. (6) exactly by exhaustive search: it enumerates every assignment of
+// executors to applications (within budgets) and, for each application,
+// every subset of its jobs, checking with a bipartite matching whether the
+// subset can be made perfectly local on the assigned executors. It returns
+// the best achievable minimum fraction of local jobs across applications.
+//
+// This is the NP-hard objective the paper's two-level heuristic
+// approximates (§III-C); it is exponential in both executors and jobs, so
+// only tiny instances are feasible — use it to validate the heuristic.
+func ExactJobLevelMaxMin(apps []AppDemand, idle []ExecInfo) float64 {
+	nE := len(idle)
+	nA := len(apps)
+	if nA == 0 {
+		return 1
+	}
+	// owner[e] ∈ [0..nA]: which app holds executor e (nA = unassigned).
+	owner := make([]int, nE)
+	best := -1.0
+
+	var rec func(e int)
+	rec = func(e int) {
+		if e == nE {
+			score := evaluateAssignment(apps, idle, owner)
+			if score > best {
+				best = score
+			}
+			return
+		}
+		for o := 0; o <= nA; o++ {
+			if o < nA && countOwned(owner[:e], o)+apps[o].Held >= apps[o].Budget {
+				continue // budget σ exhausted
+			}
+			owner[e] = o
+			rec(e + 1)
+		}
+		owner[e] = nA
+	}
+	rec(0)
+	if best < 0 {
+		best = 0
+	}
+	return best
+}
+
+func countOwned(owner []int, app int) int {
+	n := 0
+	for _, o := range owner {
+		if o == app {
+			n++
+		}
+	}
+	return n
+}
+
+// evaluateAssignment computes min over apps of (max local jobs / jobs)
+// under a fixed executor assignment.
+func evaluateAssignment(apps []AppDemand, idle []ExecInfo, owner []int) float64 {
+	minFrac := 1.0
+	for ai, a := range apps {
+		if len(a.Jobs) == 0 {
+			continue
+		}
+		// Slots available to this app (one slot = one task, Slots-aware).
+		var slots []int // node per slot
+		for ei, e := range idle {
+			if owner[ei] != ai {
+				continue
+			}
+			for s := 0; s < e.slots(); s++ {
+				slots = append(slots, e.Node)
+			}
+		}
+		bestLocal := 0
+		nJ := len(a.Jobs)
+		for mask := 0; mask < (1 << nJ); mask++ {
+			// Count and collect tasks of the selected jobs.
+			cnt := popcount(mask)
+			if cnt <= bestLocal {
+				continue
+			}
+			var adj [][]int
+			feasibleBuild := true
+			for j := 0; j < nJ; j++ {
+				if mask&(1<<j) == 0 {
+					continue
+				}
+				for _, t := range a.Jobs[j].Tasks {
+					var row []int
+					for si, node := range slots {
+						for _, n := range t.Nodes {
+							if n == node {
+								row = append(row, si)
+								break
+							}
+						}
+					}
+					if len(row) == 0 {
+						feasibleBuild = false
+						break
+					}
+					adj = append(adj, row)
+				}
+				if !feasibleBuild {
+					break
+				}
+			}
+			if !feasibleBuild {
+				continue
+			}
+			if _, size := matching.HopcroftKarp(len(adj), len(slots), adj); size == len(adj) {
+				bestLocal = cnt
+			}
+		}
+		frac := float64(bestLocal) / float64(nJ)
+		if frac < minFrac {
+			minFrac = frac
+		}
+	}
+	return minFrac
+}
+
+func popcount(x int) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// HeuristicJobLevelMaxMin runs Custody's two-level allocation on the same
+// instance and returns the achieved minimum fraction of perfectly-local
+// jobs — directly comparable with ExactJobLevelMaxMin.
+func HeuristicJobLevelMaxMin(apps []AppDemand, idle []ExecInfo) float64 {
+	plan := Allocate(apps, idle, Options{FillToBudget: false})
+	localTasks := map[[2]int]int{} // (app, job) → local tasks
+	for _, as := range plan.Assignments {
+		if as.Local {
+			localTasks[[2]int{as.App, as.Job}]++
+		}
+	}
+	minFrac := 1.0
+	for _, a := range apps {
+		if len(a.Jobs) == 0 {
+			continue
+		}
+		local := 0
+		for _, j := range a.Jobs {
+			if len(j.Tasks) > 0 && localTasks[[2]int{a.App, j.Job}] == len(j.Tasks) {
+				local++
+			}
+		}
+		frac := float64(local) / float64(len(a.Jobs))
+		if frac < minFrac {
+			minFrac = frac
+		}
+	}
+	return minFrac
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hdfs"
+	"repro/internal/xrand"
+)
+
+func TestExactFig1(t *testing.T) {
+	// Fig. 1: both applications can have their single job fully local.
+	apps := []AppDemand{
+		{App: 0, Budget: 2, Jobs: []JobDemand{{Job: 1, Tasks: []TaskDemand{task(1, 0, 0), task(2, 1, 1)}}}},
+		{App: 1, Budget: 2, Jobs: []JobDemand{{Job: 1, Tasks: []TaskDemand{task(1, 2, 2), task(2, 3, 3)}}}},
+	}
+	idle := execs(4)
+	if got := ExactJobLevelMaxMin(apps, idle); got != 1 {
+		t.Fatalf("exact = %v, want 1", got)
+	}
+	if got := HeuristicJobLevelMaxMin(apps, idle); got != 1 {
+		t.Fatalf("heuristic = %v, want 1 (Fig. 1 is solvable)", got)
+	}
+}
+
+func TestExactContended(t *testing.T) {
+	// Two apps, one single-task job each, both needing the only executor's
+	// node: at most one app can have a local job → max-min = 0.
+	apps := []AppDemand{
+		{App: 0, Budget: 1, Jobs: []JobDemand{{Job: 1, Tasks: []TaskDemand{task(1, 0, 0)}}}},
+		{App: 1, Budget: 1, Jobs: []JobDemand{{Job: 1, Tasks: []TaskDemand{task(1, 0, 0)}}}},
+	}
+	idle := []ExecInfo{{ID: 0, Node: 0}}
+	if got := ExactJobLevelMaxMin(apps, idle); got != 0 {
+		t.Fatalf("exact = %v, want 0", got)
+	}
+}
+
+func TestExactBudgetBites(t *testing.T) {
+	// One app, two single-task jobs, two executors, but budget 1:
+	// only one job can be local → 1/2.
+	apps := []AppDemand{{App: 0, Budget: 1, Jobs: []JobDemand{
+		{Job: 1, Tasks: []TaskDemand{task(1, 0, 0)}},
+		{Job: 2, Tasks: []TaskDemand{task(1, 1, 1)}},
+	}}}
+	idle := execs(2)
+	if got := ExactJobLevelMaxMin(apps, idle); got != 0.5 {
+		t.Fatalf("exact = %v, want 0.5", got)
+	}
+}
+
+func TestExactMultiSlot(t *testing.T) {
+	// One 2-slot executor serves both tasks of the job.
+	apps := []AppDemand{{App: 0, Budget: 1, Jobs: []JobDemand{
+		{Job: 1, Tasks: []TaskDemand{task(1, 0, 0), task(2, 1, 0)}},
+	}}}
+	idle := []ExecInfo{{ID: 0, Node: 0, Slots: 2}}
+	if got := ExactJobLevelMaxMin(apps, idle); got != 1 {
+		t.Fatalf("exact with multi-slot = %v, want 1", got)
+	}
+}
+
+// Property: the heuristic never beats the exact optimum, and on small
+// instances stays within a reasonable factor of it.
+func TestQuickHeuristicVsExact(t *testing.T) {
+	worstGap := 0.0
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		nodes := rng.IntRange(2, 4)
+		var idle []ExecInfo
+		for n := 0; n < nodes; n++ {
+			idle = append(idle, ExecInfo{ID: n, Node: n})
+		}
+		nApps := rng.IntRange(1, 2)
+		var apps []AppDemand
+		block := 0
+		for a := 0; a < nApps; a++ {
+			ad := AppDemand{App: a, Budget: rng.IntRange(1, nodes)}
+			for j := 0; j < rng.IntRange(1, 2); j++ {
+				jd := JobDemand{Job: j}
+				for k := 0; k < rng.IntRange(1, 2); k++ {
+					jd.Tasks = append(jd.Tasks, TaskDemand{
+						Task: k, Block: hdfs.BlockID(block), Nodes: rng.Sample(nodes, rng.IntRange(1, 2)),
+					})
+					block++
+				}
+				ad.Jobs = append(ad.Jobs, jd)
+			}
+			apps = append(apps, ad)
+		}
+		exact := ExactJobLevelMaxMin(apps, idle)
+		heur := HeuristicJobLevelMaxMin(apps, idle)
+		if heur > exact+1e-9 {
+			return false // heuristic cannot beat the optimum
+		}
+		if gap := exact - heur; gap > worstGap {
+			worstGap = gap
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("worst exact-heuristic gap over instances: %.3f", worstGap)
+}

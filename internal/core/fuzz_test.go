@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/hdfs"
+)
+
+// FuzzAllocate decodes arbitrary bytes into an allocation instance and
+// checks the structural invariants of the resulting plan: no executor slot
+// oversubscription, no executor split across applications, budgets
+// respected, and truthful Local flags. Run with `go test -fuzz=FuzzAllocate`
+// for continuous fuzzing; the seed corpus runs under plain `go test`.
+func FuzzAllocate(f *testing.F) {
+	f.Add([]byte{3, 2, 2, 1, 0, 1, 2, 0, 1, 2})
+	f.Add([]byte{8, 4, 1, 3, 3, 0, 0, 0, 0, 7, 7, 7})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		next := func(def, mod byte) int {
+			if len(data) == 0 {
+				return int(def)
+			}
+			v := data[0]
+			data = data[1:]
+			if mod == 0 {
+				return int(v)
+			}
+			return int(v % mod)
+		}
+		nodes := next(2, 8) + 1
+		var idle []ExecInfo
+		nExec := next(2, 12)
+		for i := 0; i < nExec; i++ {
+			idle = append(idle, ExecInfo{ID: i, Node: next(0, byte(nodes)), Slots: next(1, 4) + 1})
+		}
+		nApps := next(1, 3) + 1
+		var apps []AppDemand
+		block := 0
+		for a := 0; a < nApps; a++ {
+			ad := AppDemand{App: a, Budget: next(1, byte(nExec+1)), Held: next(0, 3), ExtraTasks: next(0, 4)}
+			nJobs := next(0, 3)
+			for j := 0; j < nJobs; j++ {
+				jd := JobDemand{Job: j}
+				nTasks := next(1, 4) + 1
+				for k := 0; k < nTasks; k++ {
+					nReps := next(1, 3) + 1
+					var reps []int
+					for r := 0; r < nReps; r++ {
+						reps = append(reps, next(0, byte(nodes)))
+					}
+					jd.Tasks = append(jd.Tasks, TaskDemand{Task: k, Block: hdfs.BlockID(block), Nodes: reps})
+					block++
+				}
+				ad.Jobs = append(ad.Jobs, jd)
+			}
+			apps = append(apps, ad)
+		}
+
+		for _, opts := range []Options{DefaultOptions(), {FillToBudget: false}, {FillToBudget: true, Intra: FairnessIntra{}}} {
+			plan := Allocate(apps, idle, opts)
+			owner := map[int]int{}
+			slotUse := map[int]int{}
+			perAppNew := map[int]int{}
+			nodeOf := map[int]int{}
+			slotsOf := map[int]int{}
+			for _, e := range idle {
+				nodeOf[e.ID] = e.Node
+				slotsOf[e.ID] = e.slots()
+			}
+			for _, as := range plan.Assignments {
+				if prev, ok := owner[as.Exec]; ok {
+					if prev != as.App {
+						t.Fatalf("executor %d split across apps %d and %d", as.Exec, prev, as.App)
+					}
+				} else {
+					owner[as.Exec] = as.App
+					perAppNew[as.App]++
+				}
+				slotUse[as.Exec]++
+				if slotUse[as.Exec] > slotsOf[as.Exec] {
+					t.Fatalf("executor %d oversubscribed: %d > %d", as.Exec, slotUse[as.Exec], slotsOf[as.Exec])
+				}
+				if as.Node != nodeOf[as.Exec] {
+					t.Fatalf("assignment node mismatch: %+v", as)
+				}
+				if as.Local {
+					ok := false
+					for _, ap := range apps {
+						if ap.App != as.App {
+							continue
+						}
+						for _, jd := range ap.Jobs {
+							if jd.Job != as.Job {
+								continue
+							}
+							for _, td := range jd.Tasks {
+								if td.Task != as.Task {
+									continue
+								}
+								for _, n := range td.Nodes {
+									if n == as.Node {
+										ok = true
+									}
+								}
+							}
+						}
+					}
+					if !ok {
+						t.Fatalf("untruthful Local flag: %+v", as)
+					}
+				}
+			}
+			for _, ap := range apps {
+				allowed := ap.Budget - ap.Held
+				if allowed < 0 {
+					allowed = 0
+				}
+				if perAppNew[ap.App] > allowed {
+					t.Fatalf("app %d claimed %d new executors, budget allows %d", ap.App, perAppNew[ap.App], allowed)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func fig2Instance() ([]AppDemand, []ExecInfo) {
+	// The paper's Fig. 2: A1 with tasks T1, T2; A2 with task T21; three
+	// executors.
+	apps := []AppDemand{
+		{App: 1, Budget: 3, Jobs: []JobDemand{{Job: 1, Tasks: []TaskDemand{
+			task(1, 0, 0),
+			task(2, 1, 0, 1),
+		}}}},
+		{App: 2, Budget: 3, Jobs: []JobDemand{{Job: 1, Tasks: []TaskDemand{
+			task(1, 2, 1, 2),
+		}}}},
+	}
+	idle := []ExecInfo{{ID: 0, Node: 0}, {ID: 1, Node: 1}, {ID: 2, Node: 2}}
+	return apps, idle
+}
+
+func TestBuildLocalityNetworkStructure(t *testing.T) {
+	apps, idle := fig2Instance()
+	net := BuildLocalityNetwork(apps, idle)
+	if len(net.Apps) != 2 {
+		t.Fatalf("apps = %d", len(net.Apps))
+	}
+	if net.Apps[0].Demand != 2 || net.Apps[1].Demand != 1 {
+		t.Fatalf("demands = %+v (Fig. 2: demand1=2, demand2=1)", net.Apps)
+	}
+	if net.Tasks() != 3 {
+		t.Fatalf("tasks = %d", net.Tasks())
+	}
+	// T1 → E0; T2 → E0, E1; T21 → E1, E2.
+	if len(net.Edges) != 5 {
+		t.Fatalf("edges = %d, want 5: %v", len(net.Edges), net.Edges)
+	}
+	if net.TaskOwner[0] != 0 || net.TaskOwner[2] != 1 {
+		t.Fatalf("task owners = %v", net.TaskOwner)
+	}
+}
+
+func TestNetworkDegreeAndUnservable(t *testing.T) {
+	apps := []AppDemand{{App: 0, Budget: 1, Jobs: []JobDemand{{Job: 1, Tasks: []TaskDemand{
+		task(1, 0, 0),
+		task(2, 1, 9), // replica on a node with no idle executor
+	}}}}}
+	idle := []ExecInfo{{ID: 0, Node: 0}}
+	net := BuildLocalityNetwork(apps, idle)
+	deg := net.Degree()
+	if deg[0] != 1 || deg[1] != 0 {
+		t.Fatalf("degrees = %v", deg)
+	}
+	uns := net.UnservableTasks()
+	if len(uns) != 1 || !strings.Contains(uns[0], "T2") {
+		t.Fatalf("unservable = %v", uns)
+	}
+}
+
+func TestNetworkDOT(t *testing.T) {
+	apps, idle := fig2Instance()
+	dot := BuildLocalityNetwork(apps, idle).DOT()
+	for _, want := range []string{
+		"digraph locality", "sink", "demand=2", "demand=1",
+		"app0 -> t0", "t0 -> e0", "e2 -> sink",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// Deterministic output.
+	if dot != BuildLocalityNetwork(apps, idle).DOT() {
+		t.Fatal("DOT output not deterministic")
+	}
+}
+
+func TestNetworkMatchesFractionalSolver(t *testing.T) {
+	// The network's structure must agree with what FractionalMaxMin solves:
+	// in the Fig. 2 instance everyone can be satisfied (λ* = 1).
+	apps, idle := fig2Instance()
+	if got := FractionalMaxMin(apps, idle, 1e-3); got != 1 {
+		t.Fatalf("fig. 2 instance λ* = %v, want 1", got)
+	}
+	net := BuildLocalityNetwork(apps, idle)
+	if len(net.UnservableTasks()) != 0 {
+		t.Fatal("fig. 2 instance has unservable tasks")
+	}
+}
+
+func TestNetworkMultiSlotExecutorCapacity(t *testing.T) {
+	apps := []AppDemand{{App: 0, Budget: 1, Jobs: []JobDemand{{Job: 1, Tasks: []TaskDemand{
+		task(1, 0, 0),
+	}}}}}
+	idle := []ExecInfo{{ID: 0, Node: 0, Slots: 4}}
+	dot := BuildLocalityNetwork(apps, idle).DOT()
+	if !strings.Contains(dot, "e0 -> sink [label=\"4\"]") {
+		t.Fatalf("multi-slot capacity missing from DOT:\n%s", dot)
+	}
+}

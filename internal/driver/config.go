@@ -1,0 +1,169 @@
+// Package driver wires the substrates — event engine, network fabric, HDFS,
+// cluster, task schedulers, and a cluster manager — into a runnable
+// simulation and collects the paper's metrics.
+package driver
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/hdfs"
+	"repro/internal/manager"
+	"repro/internal/netsim"
+	"repro/internal/scheduler"
+	"repro/internal/trace"
+)
+
+// SchedulerKind selects the per-application task scheduler.
+type SchedulerKind string
+
+// Scheduler kinds.
+const (
+	SchedDelay        SchedulerKind = "delay"
+	SchedDelayTaskSet SchedulerKind = "delay-taskset"
+	SchedFIFO         SchedulerKind = "fifo"
+	SchedLocalityHard SchedulerKind = "locality-hard"
+	SchedQuincy       SchedulerKind = "quincy"
+)
+
+// Config describes one simulation run. The zero value is not usable; start
+// from DefaultConfig.
+type Config struct {
+	Seed uint64
+
+	// Cluster shape (§VI-A1).
+	Nodes            int
+	ExecutorsPerNode int
+	SlotsPerExecutor int
+	RackSize         int
+
+	// Storage.
+	BlockSize   int64
+	Replication int
+	Placement   hdfs.PlacementPolicy // nil → random
+	// ReplicaSelection picks the source of non-local reads (nil → random).
+	ReplicaSelection hdfs.ReplicaSelector
+
+	// Network and disk capacities.
+	Net netsim.Config
+
+	// Task scheduling.
+	Scheduler    SchedulerKind
+	LocalityWait float64
+	// RackWait enables the RACK_LOCAL delay-scheduling level: after the
+	// node-level wait expires, a task accepts rack-local executors for this
+	// many additional seconds before going anywhere. Zero (the paper's
+	// measured configuration) skips the level.
+	RackWait float64
+
+	// Manager is the cluster manager under test.
+	Manager manager.Manager
+
+	// MaxFanIn bounds the number of concurrent fetch flows per shuffle
+	// task; sources are bundled beyond it.
+	MaxFanIn int
+
+	// RemoteReadCapBps caps a single remote HDFS block read (protocol
+	// overhead keeps single-stream reads well below line rate; the paper
+	// cites remote reads as "as much as 20 times slower than local data
+	// access"). Zero disables the cap.
+	RemoteReadCapBps float64
+
+	// ExecutorStartupSec is charged when an executor changes owner
+	// (container/JVM start). Zero disables the charge.
+	ExecutorStartupSec float64
+
+	// ComputeNoise is the half-width of the multiplicative jitter applied
+	// to task compute times (0.1 → uniform in [0.9, 1.1]).
+	ComputeNoise float64
+
+	// SlowNodeFraction / SlowFactor make a deterministic share of nodes
+	// run slower (compute and disk), producing persistent stragglers —
+	// heterogeneity the paper's testbed did not have but real clusters do.
+	SlowNodeFraction float64
+	SlowFactor       float64
+
+	// StragglerProb makes a task a straggler with this probability,
+	// multiplying its compute time by StragglerFactor — the heavy tail
+	// that speculative execution (§IV-B's mitigation hook) targets.
+	StragglerProb   float64
+	StragglerFactor float64
+
+	// Tracer receives timeline events (nil → discarded).
+	Tracer trace.Tracer
+
+	// Speculation enables straggler re-execution (§IV-B mentions straggler
+	// mitigation schemes as complementary).
+	Speculation bool
+	// SpeculationMultiplier: a running task is re-launched when it exceeds
+	// this multiple of the stage's median completed duration.
+	SpeculationMultiplier float64
+	// SpeculationQuantile: fraction of the stage that must be complete
+	// before speculation may trigger.
+	SpeculationQuantile float64
+}
+
+// DefaultConfig mirrors the paper's testbed (§VI-A1): 100 nodes, 8 cores
+// and 16 GB each, two executors per node, 128 MB blocks with 3 replicas,
+// 2 Gbps uplink / 40 Gbps downlink, delay scheduling with a 3 s wait.
+func DefaultConfig() Config {
+	return Config{
+		Seed:                  1,
+		Nodes:                 100,
+		ExecutorsPerNode:      2,
+		SlotsPerExecutor:      4,
+		RackSize:              20,
+		BlockSize:             hdfs.DefaultBlockSize,
+		Replication:           hdfs.DefaultReplication,
+		Net:                   netsim.LinodeConfig(),
+		Scheduler:             SchedDelay,
+		LocalityWait:          scheduler.DefaultWait,
+		MaxFanIn:              8,
+		RemoteReadCapBps:      75e6,
+		ExecutorStartupSec:    0.5,
+		ComputeNoise:          0.1,
+		SpeculationMultiplier: 1.5,
+		SpeculationQuantile:   0.5,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("driver: Nodes = %d", c.Nodes)
+	}
+	if c.ExecutorsPerNode <= 0 {
+		return fmt.Errorf("driver: ExecutorsPerNode = %d", c.ExecutorsPerNode)
+	}
+	if c.BlockSize <= 0 {
+		return fmt.Errorf("driver: BlockSize = %d", c.BlockSize)
+	}
+	if c.Replication <= 0 {
+		return fmt.Errorf("driver: Replication = %d", c.Replication)
+	}
+	if c.Manager == nil {
+		return fmt.Errorf("driver: Manager is nil")
+	}
+	if c.Net.UplinkBps <= 0 || c.Net.DownlinkBps <= 0 || c.Net.DiskBps <= 0 {
+		return fmt.Errorf("driver: non-positive capacity in Net config")
+	}
+	switch c.Scheduler {
+	case SchedDelay, SchedDelayTaskSet, SchedFIFO, SchedLocalityHard, SchedQuincy:
+	default:
+		return fmt.Errorf("driver: unknown scheduler %q", c.Scheduler)
+	}
+	return nil
+}
+
+// clusterConfig derives the cluster substrate configuration.
+func (c Config) clusterConfig() cluster.Config {
+	return cluster.Config{
+		Nodes:            c.Nodes,
+		ExecutorsPerNode: c.ExecutorsPerNode,
+		SlotsPerExecutor: c.SlotsPerExecutor,
+		RackSize:         c.RackSize,
+		Spec:             cluster.LinodeSpec(),
+		SlowNodeFraction: c.SlowNodeFraction,
+		SlowFactor:       c.SlowFactor,
+	}
+}

@@ -1,0 +1,133 @@
+package driver
+
+import (
+	"fmt"
+
+	"repro/internal/app"
+	"repro/internal/cluster"
+	"repro/internal/trace"
+)
+
+// FailNodeAt schedules a whole-node failure at simulated time t: the node's
+// executors die, tasks running on them are re-queued with their owning
+// applications, the NameNode decommissions the DataNode, and re-replication
+// traffic is charged to the network fabric (copies stream from surviving
+// replicas). Blocks whose replicas all die become preference-free: tasks
+// reading them regenerate input locally, a stand-in for recomputing lost
+// partitions from lineage.
+func (d *Driver) FailNodeAt(t float64, node int) {
+	d.eng.At(t, func() { d.failNode(node) })
+}
+
+// RecoverNodeAt schedules the node's return to service: its executors
+// become allocatable again and its stored replicas become visible.
+func (d *Driver) RecoverNodeAt(t float64, node int) {
+	d.eng.At(t, func() {
+		d.cl.RecoverNode(node)
+		d.nn.Recommission(node)
+		d.tr.Emit(trace.Event{Time: d.eng.Now(), Kind: trace.NodeRecover, App: -1, Job: -1, Stage: -1, Task: -1, Exec: -1, Node: node})
+		d.dispatch()
+	})
+}
+
+func (d *Driver) failNode(node int) {
+	now := d.eng.Now()
+	d.tr.Emit(trace.Event{Time: now, Kind: trace.NodeFail, App: -1, Job: -1, Stage: -1, Task: -1, Exec: -1, Node: node})
+
+	// 1. Kill attempts running on the node and collect their tasks.
+	var requeue []*app.Task
+	for task, attempts := range d.running {
+		alive := attempts[:0]
+		for _, at := range attempts {
+			if at.dead {
+				continue
+			}
+			if at.exec.Node.ID != node {
+				alive = append(alive, at)
+				continue
+			}
+			at.dead = true
+			for _, f := range at.flows {
+				d.fabric.Cancel(f)
+			}
+			if at.timer != nil {
+				d.eng.Cancel(at.timer)
+			}
+			// The executor's slot accounting is reset by FailNode below;
+			// do not FinishTask on a dying executor.
+		}
+		if len(alive) == 0 && task.State == app.TaskRunning {
+			requeue = append(requeue, task)
+			delete(d.running, task)
+		} else {
+			d.running[task] = alive
+		}
+	}
+
+	// 2. Take the executors out of service.
+	d.cl.FailNode(node)
+
+	// 3. Decommission the DataNode; charge re-replication to the fabric.
+	copies, err := d.nn.Decommission(node)
+	if err == nil {
+		for _, cp := range copies {
+			d.fabric.Transfer(cp.From, cp.To, float64(cp.Size), nil)
+		}
+	}
+
+	// 4. Re-queue interrupted tasks (deterministic order: by job, index).
+	sortTasks(requeue)
+	byApp := map[cluster.AppID][]*app.Task{}
+	for _, t := range requeue {
+		t.State = app.TaskReady
+		t.ReadyAt = now
+		t.RanOnNode = -1
+		t.RanLocal = false
+		byApp[t.Job.App.ID] = append(byApp[t.Job.App.ID], t)
+	}
+	for _, a := range d.apps {
+		if ts := byApp[a.ID]; len(ts) > 0 {
+			d.scheds[a.ID].Submit(ts, now)
+		}
+	}
+	d.managerCall(func() { d.cfg.Manager.OnNodeFail(d, node) })
+	d.dispatch()
+}
+
+// sortTasks orders tasks deterministically (app, job, stage, index).
+func sortTasks(ts []*app.Task) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && taskLess(ts[j], ts[j-1]); j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}
+
+func taskLess(a, b *app.Task) bool {
+	if a.Job.App.ID != b.Job.App.ID {
+		return a.Job.App.ID < b.Job.App.ID
+	}
+	if a.Job.ID != b.Job.ID {
+		return a.Job.ID < b.Job.ID
+	}
+	if a.Stage.ID != b.Stage.ID {
+		return a.Stage.ID < b.Stage.ID
+	}
+	return a.Index < b.Index
+}
+
+// failNodeSanity panics if internal accounting drifted (used in tests).
+func (d *Driver) failNodeSanity() error {
+	for task, attempts := range d.running {
+		live := 0
+		for _, at := range attempts {
+			if !at.dead {
+				live++
+			}
+		}
+		if live == 0 {
+			return fmt.Errorf("task %v has no live attempts but is tracked", task)
+		}
+	}
+	return nil
+}

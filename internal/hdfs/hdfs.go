@@ -1,0 +1,394 @@
+// Package hdfs models the distributed file system substrate the paper's
+// cluster runs on (HDFS, §II / §IV-C).
+//
+// A NameNode manages the directory tree: files are split into fixed-size
+// blocks, each replicated onto several DataNodes according to a pluggable
+// placement policy. Custody's only dependency on the file system is the
+// NameNode's Locations query ("Custody acquires the list of relevant
+// DataNodes that store the input data blocks of jobs" — §IV-C), which this
+// package answers exactly as HDFS would.
+package hdfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/xrand"
+)
+
+// BlockID identifies a block cluster-wide.
+type BlockID int
+
+// DefaultBlockSize is the paper's standard configuration (§VI-A1): 128 MB.
+const DefaultBlockSize int64 = 128 << 20
+
+// DefaultReplication is the standard HDFS replication level (§VI-A1).
+const DefaultReplication = 3
+
+// Block is one fixed-size piece of a file.
+type Block struct {
+	ID    BlockID
+	File  string
+	Index int   // position within the file
+	Size  int64 // bytes; the final block of a file may be short
+}
+
+// File is a named sequence of blocks.
+type File struct {
+	Name   string
+	Size   int64
+	Blocks []*Block
+	// Accesses counts reads of any block of this file; consumed by the
+	// popularity placement policy (Scarlett-style, §VII).
+	Accesses int64
+}
+
+// DataNode tracks the blocks stored on one worker node.
+type DataNode struct {
+	Node     int
+	Capacity int64 // bytes; 0 means unlimited
+	Used     int64
+	blocks   map[BlockID]struct{}
+	alive    bool
+}
+
+// Holds reports whether the DataNode stores the block.
+func (d *DataNode) Holds(b BlockID) bool {
+	_, ok := d.blocks[b]
+	return ok
+}
+
+// BlockCount returns the number of block replicas stored on the DataNode.
+func (d *DataNode) BlockCount() int { return len(d.blocks) }
+
+// Alive reports whether the DataNode is in service.
+func (d *DataNode) Alive() bool { return d.alive }
+
+// NameNode is the metadata service: file → blocks and block → replicas.
+type NameNode struct {
+	files     map[string]*File
+	blocks    map[BlockID]*Block
+	locations map[BlockID][]int
+	datanodes []*DataNode
+	racks     []int // node → rack
+	policy    PlacementPolicy
+	rng       *xrand.Rand
+	nextBlock BlockID
+
+	BlockSize   int64
+	Replication int
+}
+
+// Option configures a NameNode.
+type Option func(*NameNode)
+
+// WithBlockSize overrides the default 128 MB block size.
+func WithBlockSize(s int64) Option {
+	return func(nn *NameNode) { nn.BlockSize = s }
+}
+
+// WithReplication overrides the default replication factor of 3.
+func WithReplication(r int) Option {
+	return func(nn *NameNode) { nn.Replication = r }
+}
+
+// WithPolicy sets the block placement policy.
+func WithPolicy(p PlacementPolicy) Option {
+	return func(nn *NameNode) { nn.policy = p }
+}
+
+// WithRacks assigns nodes to racks round-robin, rackSize nodes per rack.
+func WithRacks(rackSize int) Option {
+	return func(nn *NameNode) {
+		if rackSize <= 0 {
+			rackSize = len(nn.datanodes)
+		}
+		for i := range nn.racks {
+			nn.racks[i] = i / rackSize
+		}
+	}
+}
+
+// WithCapacity sets a per-node storage capacity in bytes.
+func WithCapacity(bytes int64) Option {
+	return func(nn *NameNode) {
+		for _, d := range nn.datanodes {
+			d.Capacity = bytes
+		}
+	}
+}
+
+// NewNameNode creates a NameNode managing n DataNodes.
+func NewNameNode(n int, rng *xrand.Rand, opts ...Option) *NameNode {
+	if n <= 0 {
+		panic("hdfs: NewNameNode with n <= 0")
+	}
+	nn := &NameNode{
+		files:       make(map[string]*File),
+		blocks:      make(map[BlockID]*Block),
+		locations:   make(map[BlockID][]int),
+		racks:       make([]int, n),
+		rng:         rng.Fork("hdfs"),
+		BlockSize:   DefaultBlockSize,
+		Replication: DefaultReplication,
+	}
+	for i := 0; i < n; i++ {
+		nn.datanodes = append(nn.datanodes, &DataNode{
+			Node:   i,
+			blocks: map[BlockID]struct{}{},
+			alive:  true,
+		})
+	}
+	nn.policy = RandomPolicy{}
+	for _, o := range opts {
+		o(nn)
+	}
+	return nn
+}
+
+// Nodes returns the number of DataNodes.
+func (nn *NameNode) Nodes() int { return len(nn.datanodes) }
+
+// Rack returns the rack id of a node.
+func (nn *NameNode) Rack(node int) int { return nn.racks[node] }
+
+// DataNode returns the DataNode state for a node.
+func (nn *NameNode) DataNode(node int) *DataNode { return nn.datanodes[node] }
+
+// ErrExists is returned by Create when the file name is taken.
+var ErrExists = errors.New("hdfs: file exists")
+
+// ErrNotFound is returned when a file or block does not exist.
+var ErrNotFound = errors.New("hdfs: not found")
+
+// ErrNoSpace is returned when placement cannot find enough capacity.
+var ErrNoSpace = errors.New("hdfs: insufficient datanode capacity")
+
+// Create writes a new file of the given size, splitting it into blocks and
+// placing replicas via the placement policy.
+func (nn *NameNode) Create(name string, size int64) (*File, error) {
+	if _, ok := nn.files[name]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrExists, name)
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("hdfs: invalid file size %d", size)
+	}
+	f := &File{Name: name, Size: size}
+	remaining := size
+	idx := 0
+	for remaining > 0 {
+		bs := nn.BlockSize
+		if remaining < bs {
+			bs = remaining
+		}
+		b := &Block{ID: nn.nextBlock, File: name, Index: idx, Size: bs}
+		nn.nextBlock++
+		nodes, err := nn.policy.Place(nn, b, nn.Replication)
+		if err != nil {
+			return nil, err
+		}
+		for _, node := range nodes {
+			nn.addReplica(b, node)
+		}
+		nn.blocks[b.ID] = b
+		f.Blocks = append(f.Blocks, b)
+		remaining -= bs
+		idx++
+	}
+	nn.files[name] = f
+	return f, nil
+}
+
+func (nn *NameNode) addReplica(b *Block, node int) {
+	d := nn.datanodes[node]
+	if d.Holds(b.ID) {
+		return
+	}
+	d.blocks[b.ID] = struct{}{}
+	d.Used += b.Size
+	nn.locations[b.ID] = append(nn.locations[b.ID], node)
+}
+
+// Open returns the file metadata.
+func (nn *NameNode) Open(name string) (*File, error) {
+	f, ok := nn.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return f, nil
+}
+
+// Exists reports whether a file exists.
+func (nn *NameNode) Exists(name string) bool {
+	_, ok := nn.files[name]
+	return ok
+}
+
+// Block returns the metadata for a block id.
+func (nn *NameNode) Block(id BlockID) (*Block, error) {
+	b, ok := nn.blocks[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: block %d", ErrNotFound, id)
+	}
+	return b, nil
+}
+
+// Locations returns the nodes holding live replicas of a block. This is the
+// query Custody issues before allocation (§IV-C). The returned slice is a
+// copy; callers may mutate it.
+func (nn *NameNode) Locations(id BlockID) []int {
+	locs := nn.locations[id]
+	out := make([]int, 0, len(locs))
+	for _, node := range locs {
+		if nn.datanodes[node].alive {
+			out = append(out, node)
+		}
+	}
+	return out
+}
+
+// RecordAccess notes a read of a block, feeding popularity statistics.
+func (nn *NameNode) RecordAccess(id BlockID) {
+	if b, ok := nn.blocks[id]; ok {
+		nn.files[b.File].Accesses++
+	}
+}
+
+// Delete removes a file and all of its replicas.
+func (nn *NameNode) Delete(name string) error {
+	f, ok := nn.files[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	for _, b := range f.Blocks {
+		for _, node := range nn.locations[b.ID] {
+			d := nn.datanodes[node]
+			if d.Holds(b.ID) {
+				delete(d.blocks, b.ID)
+				d.Used -= b.Size
+			}
+		}
+		delete(nn.locations, b.ID)
+		delete(nn.blocks, b.ID)
+	}
+	delete(nn.files, name)
+	return nil
+}
+
+// ReplicaCopy records one re-replication transfer: the block is copied from
+// a surviving replica holder (From) to a new node (To).
+type ReplicaCopy struct {
+	Block BlockID
+	Size  int64
+	From  int
+	To    int
+}
+
+// Decommission marks a node dead and re-replicates its blocks elsewhere so
+// every block regains its target replication. It returns the copies made,
+// so callers can charge the re-replication traffic to the network.
+func (nn *NameNode) Decommission(node int) ([]ReplicaCopy, error) {
+	d := nn.datanodes[node]
+	if !d.alive {
+		return nil, fmt.Errorf("hdfs: node %d already decommissioned", node)
+	}
+	d.alive = false
+	var copies []ReplicaCopy
+	ids := make([]BlockID, 0, len(d.blocks))
+	for id := range d.blocks {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		b := nn.blocks[id]
+		live := nn.Locations(id)
+		if len(live) >= nn.Replication || len(live) == 0 {
+			continue // already replicated enough, or no surviving source
+		}
+		exclude := map[int]bool{}
+		for _, n := range nn.locations[id] {
+			exclude[n] = true
+		}
+		target, err := nn.pickNode(b.Size, exclude)
+		if err != nil {
+			continue // cluster too full or too small; block stays under-replicated
+		}
+		nn.addReplica(b, target)
+		copies = append(copies, ReplicaCopy{Block: id, Size: b.Size, From: live[0], To: target})
+	}
+	return copies, nil
+}
+
+// Recommission brings a node back into service. Its old replicas become
+// visible again.
+func (nn *NameNode) Recommission(node int) {
+	nn.datanodes[node].alive = true
+}
+
+// pickNode selects a live node with free capacity, uniformly at random,
+// excluding the given set.
+func (nn *NameNode) pickNode(size int64, exclude map[int]bool) (int, error) {
+	var candidates []int
+	for _, d := range nn.datanodes {
+		if !d.alive || exclude[d.Node] {
+			continue
+		}
+		if d.Capacity > 0 && d.Used+size > d.Capacity {
+			continue
+		}
+		candidates = append(candidates, d.Node)
+	}
+	if len(candidates) == 0 {
+		return 0, ErrNoSpace
+	}
+	return candidates[nn.rng.Intn(len(candidates))], nil
+}
+
+// ReplicaCount returns the number of live replicas of a block.
+func (nn *NameNode) ReplicaCount(id BlockID) int { return len(nn.Locations(id)) }
+
+// Files returns the names of all files, sorted.
+func (nn *NameNode) Files() []string {
+	out := make([]string, 0, len(nn.files))
+	for name := range nn.files {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalBlocks returns the number of distinct blocks in the namespace.
+func (nn *NameNode) TotalBlocks() int { return len(nn.blocks) }
+
+// BalanceReport summarizes how evenly replicas are spread over DataNodes.
+type BalanceReport struct {
+	MinReplicas, MaxReplicas int
+	MeanReplicas             float64
+}
+
+// Balance computes a replica-distribution report over live nodes.
+func (nn *NameNode) Balance() BalanceReport {
+	r := BalanceReport{MinReplicas: int(^uint(0) >> 1)}
+	total, n := 0, 0
+	for _, d := range nn.datanodes {
+		if !d.alive {
+			continue
+		}
+		c := d.BlockCount()
+		if c < r.MinReplicas {
+			r.MinReplicas = c
+		}
+		if c > r.MaxReplicas {
+			r.MaxReplicas = c
+		}
+		total += c
+		n++
+	}
+	if n > 0 {
+		r.MeanReplicas = float64(total) / float64(n)
+	} else {
+		r.MinReplicas = 0
+	}
+	return r
+}

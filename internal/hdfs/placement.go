@@ -1,0 +1,244 @@
+package hdfs
+
+import "sort"
+
+// PlacementPolicy chooses the DataNodes that receive a new block's replicas.
+type PlacementPolicy interface {
+	// Place returns the nodes for a block's replicas. Implementations must
+	// return distinct, live nodes and may return fewer than replicas when
+	// the cluster is too small or too full.
+	Place(nn *NameNode, b *Block, replicas int) ([]int, error)
+	// Name identifies the policy in reports.
+	Name() string
+}
+
+// RandomPolicy places each replica on a distinct node chosen uniformly at
+// random — the paper's baseline configuration ("each data block typically
+// has three replicas randomly distributed in the cluster", §II).
+type RandomPolicy struct{}
+
+// Name implements PlacementPolicy.
+func (RandomPolicy) Name() string { return "random" }
+
+// Place implements PlacementPolicy.
+func (RandomPolicy) Place(nn *NameNode, b *Block, replicas int) ([]int, error) {
+	exclude := map[int]bool{}
+	var out []int
+	for len(out) < replicas {
+		node, err := nn.pickNode(b.Size, exclude)
+		if err != nil {
+			if len(out) > 0 {
+				return out, nil // partially placed: under-replicated but usable
+			}
+			return nil, err
+		}
+		out = append(out, node)
+		exclude[node] = true
+	}
+	return out, nil
+}
+
+// RackAwarePolicy mimics HDFS's default: the first replica on a random node,
+// the second on a different rack, the third on the same rack as the second
+// but a different node. Extra replicas are placed randomly.
+type RackAwarePolicy struct{}
+
+// Name implements PlacementPolicy.
+func (RackAwarePolicy) Name() string { return "rack-aware" }
+
+// Place implements PlacementPolicy.
+func (RackAwarePolicy) Place(nn *NameNode, b *Block, replicas int) ([]int, error) {
+	exclude := map[int]bool{}
+	var out []int
+	add := func(node int) {
+		out = append(out, node)
+		exclude[node] = true
+	}
+	first, err := nn.pickNode(b.Size, exclude)
+	if err != nil {
+		return nil, err
+	}
+	add(first)
+	if replicas == 1 {
+		return out, nil
+	}
+
+	// Second replica: prefer a node on a different rack.
+	second, ok := nn.pickNodeOnRack(b.Size, exclude, func(rack int) bool { return rack != nn.Rack(first) })
+	if !ok {
+		second, err = nn.pickNode(b.Size, exclude)
+		if err != nil {
+			return out, nil
+		}
+	}
+	add(second)
+
+	// Third replica: prefer the second replica's rack.
+	if replicas >= 3 {
+		third, ok := nn.pickNodeOnRack(b.Size, exclude, func(rack int) bool { return rack == nn.Rack(second) })
+		if !ok {
+			third, err = nn.pickNode(b.Size, exclude)
+			if err != nil {
+				return out, nil
+			}
+		}
+		add(third)
+	}
+
+	for len(out) < replicas {
+		node, err := nn.pickNode(b.Size, exclude)
+		if err != nil {
+			break
+		}
+		add(node)
+	}
+	return out, nil
+}
+
+// pickNodeOnRack picks a random live node whose rack satisfies the predicate.
+func (nn *NameNode) pickNodeOnRack(size int64, exclude map[int]bool, rackOK func(int) bool) (int, bool) {
+	var candidates []int
+	for _, d := range nn.datanodes {
+		if !d.alive || exclude[d.Node] || !rackOK(nn.Rack(d.Node)) {
+			continue
+		}
+		if d.Capacity > 0 && d.Used+size > d.Capacity {
+			continue
+		}
+		candidates = append(candidates, d.Node)
+	}
+	if len(candidates) == 0 {
+		return 0, false
+	}
+	return candidates[nn.rng.Intn(len(candidates))], true
+}
+
+// PopularityPolicy implements a Scarlett-style strategy (§VII, [9]): blocks
+// of files expected to be popular receive extra replicas, proportionally to
+// their popularity weight, so hot data does not concentrate computation on
+// three nodes.
+type PopularityPolicy struct {
+	// Weights maps file name → relative popularity (>= 1). Missing files
+	// default to weight 1 (base replication).
+	Weights map[string]float64
+	// MaxExtra caps the additional replicas per block.
+	MaxExtra int
+}
+
+// Name implements PlacementPolicy.
+func (p *PopularityPolicy) Name() string { return "popularity" }
+
+// Place implements PlacementPolicy.
+func (p *PopularityPolicy) Place(nn *NameNode, b *Block, replicas int) ([]int, error) {
+	w := 1.0
+	if p.Weights != nil {
+		if v, ok := p.Weights[b.File]; ok && v > 1 {
+			w = v
+		}
+	}
+	extra := int(w) - 1
+	if p.MaxExtra > 0 && extra > p.MaxExtra {
+		extra = p.MaxExtra
+	}
+	return RandomPolicy{}.Place(nn, b, replicas+extra)
+}
+
+// RebalanceAdvice lists moves that would even out replica counts: each move
+// re-homes one replica from an overloaded node to an underloaded one.
+type RebalanceAdvice struct {
+	Block    BlockID
+	From, To int
+}
+
+// PlanRebalance suggests replica moves until every live node is within
+// `slack` replicas of the mean. It does not mutate state; use ApplyMove.
+func (nn *NameNode) PlanRebalance(slack int) []RebalanceAdvice {
+	if slack < 0 {
+		slack = 0
+	}
+	var advice []RebalanceAdvice
+	counts := map[int]int{}
+	for _, d := range nn.datanodes {
+		if d.alive {
+			counts[d.Node] = d.BlockCount()
+		}
+	}
+	if len(counts) < 2 {
+		return nil
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	mean := float64(total) / float64(len(counts))
+	hi := int(mean) + slack
+	lo := int(mean) - slack
+	if lo < 0 {
+		lo = 0
+	}
+
+	// Deterministic order: scan overloaded nodes ascending.
+	var over []int
+	for node, c := range counts {
+		if c > hi {
+			over = append(over, node)
+		}
+	}
+	sort.Ints(over)
+	for _, from := range over {
+		d := nn.datanodes[from]
+		var ids []BlockID
+		for id := range d.blocks {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			if counts[from] <= hi {
+				break
+			}
+			// Find an underloaded target that lacks this block.
+			var to = -1
+			for node, c := range counts {
+				if c < lo+1 && !nn.datanodes[node].Holds(id) && node != from {
+					if to == -1 || c < counts[to] {
+						to = node
+					}
+				}
+			}
+			if to == -1 {
+				continue
+			}
+			advice = append(advice, RebalanceAdvice{Block: id, From: from, To: to})
+			counts[from]--
+			counts[to]++
+		}
+	}
+	return advice
+}
+
+// ApplyMove executes a rebalance move: the replica on From is dropped after a
+// copy is registered on To.
+func (nn *NameNode) ApplyMove(m RebalanceAdvice) error {
+	b, err := nn.Block(m.Block)
+	if err != nil {
+		return err
+	}
+	from := nn.datanodes[m.From]
+	if !from.Holds(m.Block) {
+		return ErrNotFound
+	}
+	if nn.datanodes[m.To].Holds(m.Block) {
+		return ErrExists
+	}
+	nn.addReplica(b, m.To)
+	delete(from.blocks, m.Block)
+	from.Used -= b.Size
+	locs := nn.locations[m.Block]
+	for i, n := range locs {
+		if n == m.From {
+			nn.locations[m.Block] = append(locs[:i], locs[i+1:]...)
+			break
+		}
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package hdfs
+
+import "repro/internal/xrand"
+
+// ReplicaSelector chooses which replica a non-local reader streams from —
+// HDFS's block-placement-aware read path. Selection only matters for
+// non-local reads; local reads always use the reader's own node.
+type ReplicaSelector interface {
+	Name() string
+	// Pick returns the source node for a reader on dst given the live
+	// replica locations (non-empty).
+	Pick(nn *NameNode, locs []int, dst int, rng *xrand.Rand) int
+}
+
+// RandomSelector picks a replica uniformly at random, spreading read load
+// across the replica set.
+type RandomSelector struct{}
+
+// Name implements ReplicaSelector.
+func (RandomSelector) Name() string { return "random" }
+
+// Pick implements ReplicaSelector.
+func (RandomSelector) Pick(nn *NameNode, locs []int, dst int, rng *xrand.Rand) int {
+	return locs[rng.Intn(len(locs))]
+}
+
+// ClosestSelector prefers a replica on the reader's rack (HDFS's
+// NetworkTopology.sortByDistance), falling back to a random remote replica.
+type ClosestSelector struct{}
+
+// Name implements ReplicaSelector.
+func (ClosestSelector) Name() string { return "closest" }
+
+// Pick implements ReplicaSelector.
+func (ClosestSelector) Pick(nn *NameNode, locs []int, dst int, rng *xrand.Rand) int {
+	rack := nn.Rack(dst)
+	var sameRack []int
+	for _, n := range locs {
+		if nn.Rack(n) == rack {
+			sameRack = append(sameRack, n)
+		}
+	}
+	if len(sameRack) > 0 {
+		return sameRack[rng.Intn(len(sameRack))]
+	}
+	return locs[rng.Intn(len(locs))]
+}
+
+// LeastLoadedSelector picks the replica holder with the fewest recorded
+// block accesses — a simple read-balancing heuristic using the NameNode's
+// popularity statistics as a load proxy.
+type LeastLoadedSelector struct {
+	// loadOf tracks reads served per node during this run.
+	served map[int]int
+}
+
+// NewLeastLoadedSelector builds a stateful load-balancing selector.
+func NewLeastLoadedSelector() *LeastLoadedSelector {
+	return &LeastLoadedSelector{served: map[int]int{}}
+}
+
+// Name implements ReplicaSelector.
+func (s *LeastLoadedSelector) Name() string { return "least-loaded" }
+
+// Pick implements ReplicaSelector.
+func (s *LeastLoadedSelector) Pick(nn *NameNode, locs []int, dst int, rng *xrand.Rand) int {
+	best := locs[0]
+	for _, n := range locs[1:] {
+		if s.served[n] < s.served[best] || (s.served[n] == s.served[best] && n < best) {
+			best = n
+		}
+	}
+	s.served[best]++
+	return best
+}

@@ -1,0 +1,230 @@
+package manager
+
+import (
+	"sort"
+
+	"repro/internal/app"
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+// Custody is the paper's data-aware manager (§IV–§V). Allocation is deferred
+// until users submit jobs; on every job arrival or departure it re-evaluates
+// demand, consults the NameNode for the blocks of pending input tasks, and
+// runs the two-level allocation of internal/core over the idle executors.
+type Custody struct {
+	// Opts configures the core allocator (intra-app strategy, budget fill).
+	Opts core.Options
+	// Sticky keeps an application's idle executors when they still carry
+	// locality for its pending tasks, instead of churning them through the
+	// pool every round. Enabled by default.
+	Sticky bool
+	// EmitHints forwards the plan's per-task executor choices to the
+	// applications as scheduling suggestions (§V). Off by default: the
+	// paper's experiments leave applications on unmodified delay
+	// scheduling, which ignores the suggestions.
+	EmitHints bool
+}
+
+// NewCustody builds the Custody manager with the paper's configuration.
+func NewCustody() *Custody {
+	return &Custody{Opts: core.DefaultOptions(), Sticky: true}
+}
+
+// Name implements Manager.
+func (c *Custody) Name() string { return "custody" }
+
+// Register implements Manager. Custody deliberately allocates nothing at
+// registration: "we do not allocate executors until users submit requests"
+// (§V).
+func (c *Custody) Register(env Env) {}
+
+// OnJobSubmit implements Manager: re-evaluate the demand of all unfinished
+// jobs (§IV-C) and reallocate.
+func (c *Custody) OnJobSubmit(env Env, a *app.Application, j *app.Job) {
+	c.reallocate(env)
+}
+
+// OnJobFinish implements Manager: departures free executors; re-evaluate.
+func (c *Custody) OnJobFinish(env Env, a *app.Application, j *app.Job) {
+	c.reallocate(env)
+}
+
+// OnExecutorIdle implements Manager. Custody is invoked "whenever new jobs
+// are submitted into the system or existing jobs finish and leave the
+// system" (§V) — not on every task completion. An idle executor therefore
+// stays with its owner while the owner still has queued work; only when the
+// owner has nothing left does the driver's release message ("a specific
+// executor can be released", §V) trigger a reallocation.
+func (c *Custody) OnExecutorIdle(env Env, e *cluster.Executor) {
+	owner := e.Owner()
+	if owner == cluster.NoApp {
+		return
+	}
+	for _, a := range env.Apps() {
+		if a.ID == owner {
+			if env.PendingCount(a) > 0 {
+				return // the owner will reuse it
+			}
+			break
+		}
+	}
+	c.reallocate(env)
+}
+
+// OnNodeFail implements Manager: replace the lost executors data-aware.
+func (c *Custody) OnNodeFail(env Env, node int) {
+	c.reallocate(env)
+}
+
+// reallocate snapshots demand, reclaims useless idle executors, and applies
+// Algorithms 1+2.
+func (c *Custody) reallocate(env Env) {
+	env.Metrics().Reallocations++
+	cl := env.Cluster()
+	apps := env.Apps()
+	share := fairShare(env)
+
+	type appPlan struct {
+		a       *app.Application
+		pending []*app.Task // unlaunched input tasks
+		covered map[*app.Task]bool
+		byKey   map[[2]int]*app.Task // (job, task index) → task
+	}
+	plans := make([]*appPlan, len(apps))
+	for i, a := range apps {
+		p := &appPlan{a: a, pending: env.PendingInputTasks(a), covered: map[*app.Task]bool{}, byKey: map[[2]int]*app.Task{}}
+		for _, t := range p.pending {
+			p.byKey[[2]int{t.Job.ID, t.Index}] = t
+		}
+		plans[i] = p
+	}
+
+	// Phase 1: decide which held idle executors to keep. Busy executors
+	// cannot move; their free slots already cover pending local tasks. An
+	// idle executor stays with its app if its node stores the block of a
+	// pending task not yet covered (Sticky), up to its slot capacity and
+	// the app's budget; otherwise it returns to the pool.
+	coverTasks := func(p *appPlan, node, slots int) int {
+		n := 0
+		for _, t := range p.pending {
+			if n == slots {
+				break
+			}
+			if p.covered[t] {
+				continue
+			}
+			if onNode(env, t, node) {
+				p.covered[t] = true
+				n++
+			}
+		}
+		return n
+	}
+	for i, a := range apps {
+		p := plans[i]
+		owned := cl.Owned(a.ID)
+		kept := 0
+		busy := 0
+		for _, e := range owned {
+			if e.Running() > 0 {
+				busy++
+			}
+		}
+		for _, e := range owned {
+			if e.Running() > 0 {
+				// Free slots on busy executors serve pending work in place.
+				coverTasks(p, e.Node.ID, e.FreeSlots())
+				continue
+			}
+			keep := false
+			if c.Sticky && busy+kept < share {
+				keep = coverTasks(p, e.Node.ID, e.Slots()) > 0
+			}
+			if keep {
+				kept++
+			} else {
+				env.Release(e)
+				env.Metrics().ExecutorMigrations++
+			}
+		}
+	}
+
+	// Phase 2: build core demands from uncovered pending tasks, grouped by
+	// job; history comes from the app's finished-job accounting.
+	demands := make([]core.AppDemand, 0, len(apps))
+	for i, a := range apps {
+		p := plans[i]
+		d := core.AppDemand{
+			App:        int(a.ID),
+			Budget:     share,
+			Held:       cl.OwnedCount(a.ID),
+			ExtraTasks: env.PendingCount(a) - len(p.pending),
+			LocalJobs:  a.LocalJobs,
+			TotalJobs:  a.TotalJobs,
+			LocalTasks: a.LocalTasks,
+			TotalTasks: a.TotalTasks,
+		}
+		byJob := map[int][]*app.Task{}
+		var jobIDs []int
+		for _, t := range p.pending {
+			if p.covered[t] {
+				continue
+			}
+			if _, ok := byJob[t.Job.ID]; !ok {
+				jobIDs = append(jobIDs, t.Job.ID)
+			}
+			byJob[t.Job.ID] = append(byJob[t.Job.ID], t)
+		}
+		sort.Ints(jobIDs)
+		for _, jid := range jobIDs {
+			jd := core.JobDemand{Job: jid}
+			for _, t := range byJob[jid] {
+				jd.Tasks = append(jd.Tasks, core.TaskDemand{
+					Task:  t.Index,
+					Block: t.Block,
+					Nodes: env.NameNode().Locations(t.Block),
+				})
+			}
+			d.Jobs = append(d.Jobs, jd)
+		}
+		demands = append(demands, d)
+	}
+
+	// Phase 3: allocate idle executors (slot-aware).
+	var idle []core.ExecInfo
+	for _, e := range cl.Free() {
+		idle = append(idle, core.ExecInfo{ID: e.ID, Node: e.Node.ID, Slots: e.Slots()})
+	}
+	plan := core.Allocate(demands, idle, c.Opts)
+	for _, as := range plan.Assignments {
+		e := cl.Executor(as.Exec)
+		if e.Owner() != cluster.AppID(as.App) {
+			env.Allocate(e, cluster.AppID(as.App))
+		}
+		if c.EmitHints && as.Local {
+			for _, p := range plans {
+				if int(p.a.ID) != as.App {
+					continue
+				}
+				if t, ok := p.byKey[[2]int{as.Job, as.Task}]; ok {
+					env.Hint(t, as.Exec)
+				}
+				break
+			}
+		}
+	}
+}
+
+// onNode reports whether the task's block has a replica on the node.
+func onNode(env Env, t *app.Task, node int) bool {
+	if !t.IsInput() {
+		return false
+	}
+	for _, n := range env.NameNode().Locations(t.Block) {
+		if n == node {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,92 @@
+package manager
+
+import (
+	"repro/internal/app"
+	"repro/internal/cluster"
+)
+
+// YARN models YARN-style dynamic resource pools (§VII: "the resource
+// manager in YARN dynamically partitions the cluster resources among
+// various applications into different resource pools, which only captures
+// computation resources as metrics and still lacks data awareness"):
+// executors are granted on demand — one per pending task, up to the fair
+// share — from whatever happens to be free, and are returned to the pool
+// when the owner runs dry. It is dynamic like Custody but data-oblivious
+// like the standalone manager.
+type YARN struct{}
+
+// NewYARN builds the YARN-like manager.
+func NewYARN() *YARN { return &YARN{} }
+
+// Name implements Manager.
+func (y *YARN) Name() string { return "yarn-pool" }
+
+// Register implements Manager: nothing up front; pools grow on demand.
+func (y *YARN) Register(env Env) {}
+
+// OnJobSubmit implements Manager: grow the submitting application's pool.
+func (y *YARN) OnJobSubmit(env Env, a *app.Application, j *app.Job) {
+	y.grow(env)
+}
+
+// OnJobFinish implements Manager.
+func (y *YARN) OnJobFinish(env Env, a *app.Application, j *app.Job) {
+	y.grow(env)
+}
+
+// OnExecutorIdle implements Manager: shrink pools with no demand, then let
+// someone else grow.
+func (y *YARN) OnExecutorIdle(env Env, e *cluster.Executor) {
+	owner := e.Owner()
+	if owner != cluster.NoApp && e.Running() == 0 {
+		for _, a := range env.Apps() {
+			if a.ID == owner {
+				if env.PendingCount(a) == 0 {
+					env.Release(e)
+				}
+				break
+			}
+		}
+	}
+	y.grow(env)
+}
+
+// OnNodeFail implements Manager: regrow pools from surviving capacity.
+func (y *YARN) OnNodeFail(env Env, node int) {
+	y.grow(env)
+}
+
+// grow hands free executors to applications with unmet demand, most-starved
+// first (demand minus held capacity), entirely ignoring data placement.
+func (y *YARN) grow(env Env) {
+	cl := env.Cluster()
+	share := fairShare(env)
+	for {
+		free := cl.Free()
+		if len(free) == 0 {
+			return
+		}
+		var pick *app.Application
+		best := 0
+		for _, a := range env.Apps() {
+			held := cl.OwnedCount(a.ID)
+			if held >= share {
+				continue
+			}
+			slots := 0
+			for _, e := range cl.Owned(a.ID) {
+				slots += e.FreeSlots()
+			}
+			deficit := env.PendingCount(a) - slots
+			if deficit > best {
+				best = deficit
+				pick = a
+			}
+		}
+		if pick == nil {
+			return
+		}
+		// Data-unaware: take the lowest-numbered free executor.
+		env.Allocate(free[0], pick.ID)
+	}
+}

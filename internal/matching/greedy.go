@@ -1,0 +1,59 @@
+package matching
+
+import "sort"
+
+// Edge is a weighted bipartite edge.
+type Edge struct {
+	Left, Right int
+	Weight      float64
+}
+
+// GreedyMatching computes a matching by repeatedly taking the heaviest
+// remaining edge whose endpoints are both free — the classical greedy
+// 2-approximation for maximum-weight matching. The paper's intra-application
+// priority rule (Algorithm 2) is exactly this algorithm applied to the
+// job/executor allocation graph, where every edge of job J_ij has weight
+// 1/µ_ij: "a job with fewer input tasks should be assigned with higher
+// priority" (§IV-B). Ties are broken by (weight desc, left asc, right asc)
+// for determinism.
+func GreedyMatching(edges []Edge) (pairs []Edge, total float64) {
+	sorted := append([]Edge(nil), edges...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Weight != sorted[j].Weight {
+			return sorted[i].Weight > sorted[j].Weight
+		}
+		if sorted[i].Left != sorted[j].Left {
+			return sorted[i].Left < sorted[j].Left
+		}
+		return sorted[i].Right < sorted[j].Right
+	})
+	usedL := map[int]bool{}
+	usedR := map[int]bool{}
+	for _, e := range sorted {
+		if usedL[e.Left] || usedR[e.Right] {
+			continue
+		}
+		usedL[e.Left] = true
+		usedR[e.Right] = true
+		pairs = append(pairs, e)
+		total += e.Weight
+	}
+	return pairs, total
+}
+
+// GreedyBudgeted is GreedyMatching with a cap on the number of edges chosen
+// — the σ_i executor budget of the constrained bipartite matching problem
+// (§IV-B, Eq. 9–10).
+func GreedyBudgeted(edges []Edge, budget int) (pairs []Edge, total float64) {
+	all, _ := GreedyMatching(edges)
+	if budget < 0 {
+		budget = 0
+	}
+	if len(all) > budget {
+		all = all[:budget]
+	}
+	for _, e := range all {
+		total += e.Weight
+	}
+	return all, total
+}

@@ -1,0 +1,139 @@
+package matching
+
+import "math"
+
+// MaxWeightAssignment solves the rectangular assignment problem: weights is
+// an nLeft×nRight matrix where weights[i][j] is the value of assigning left
+// item i to right item j; math.Inf(-1) marks a forbidden pair. It returns
+// the assignment (left → right, -1 if unassigned) maximizing total weight,
+// together with the total. Items may stay unassigned (contributing zero), so
+// negative-weight pairs are never chosen. O((nLeft+nRight)³) Hungarian
+// algorithm on the negated weights, padded with per-item zero-cost "skip"
+// slots so the square perfect-matching formulation never forces a forbidden
+// or harmful pair.
+func MaxWeightAssignment(weights [][]float64) (assign []int, total float64) {
+	nLeft := len(weights)
+	if nLeft == 0 {
+		return nil, 0
+	}
+	nRight := len(weights[0])
+	if nRight == 0 {
+		assign = make([]int, nLeft)
+		for i := range assign {
+			assign[i] = -1
+		}
+		return assign, 0
+	}
+	// Pad to (nLeft+nRight) × (nLeft+nRight): each row gets a private
+	// zero-cost skip column and each column a private zero-cost skip row.
+	n := nLeft + nRight
+	maxAbs := 1.0
+	for i := 0; i < nLeft; i++ {
+		for j := 0; j < nRight; j++ {
+			if w := weights[i][j]; !math.IsInf(w, -1) && math.Abs(w) > maxAbs {
+				maxAbs = math.Abs(w)
+			}
+		}
+	}
+	big := maxAbs*float64(n+1) + 1 // worse than any real schedule, precision-safe
+
+	cost := make([][]float64, n+1)
+	for i := range cost {
+		cost[i] = make([]float64, n+1)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			c := 0.0
+			switch {
+			case i < nLeft && j < nRight:
+				if w := weights[i][j]; math.IsInf(w, -1) {
+					c = big
+				} else {
+					c = -w
+				}
+			case i < nLeft && j >= nRight:
+				if j-nRight != i {
+					c = big // skip column j is private to row j-nRight
+				}
+			case i >= nLeft && j < nRight:
+				if i-nLeft != j {
+					c = big // skip row i is private to column i-nLeft
+				}
+			default:
+				c = 0 // skip-skip corner: free
+			}
+			cost[i+1][j+1] = c
+		}
+	}
+
+	// Standard O(n³) Hungarian with potentials (1-indexed).
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1) // p[j] = row matched to column j
+	way := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := 0; j <= n; j++ {
+			minv[j] = math.Inf(1)
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := math.Inf(1)
+			j1 := -1
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0][j] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	assign = make([]int, nLeft)
+	for i := range assign {
+		assign[i] = -1
+	}
+	for j := 1; j <= nRight; j++ {
+		i := p[j] - 1
+		jj := j - 1
+		if i < 0 || i >= nLeft {
+			continue // matched to a skip row
+		}
+		w := weights[i][jj]
+		if math.IsInf(w, -1) || w < 0 {
+			continue // should not happen given the skip structure
+		}
+		assign[i] = jj
+		total += w
+	}
+	return assign, total
+}

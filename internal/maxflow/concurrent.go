@@ -1,0 +1,110 @@
+package maxflow
+
+// ConcurrentInstance describes a maximum concurrent flow instance built the
+// way §III-B constructs it:
+//
+//	source_i → task nodes (capacity 1 each) → executor nodes → sink,
+//
+// where commodity i's demand equals the application's number of input tasks
+// τ_i. The objective is the largest common fraction λ such that every
+// application can simultaneously route λ·τ_i units.
+type ConcurrentInstance struct {
+	// Demands[i] is commodity i's demand (τ_i).
+	Demands []float64
+	// Build constructs the network with a super-source edge of capacity
+	// demand*lambda for each commodity and returns (graph, source, sink).
+	// It is invoked once per λ probe.
+	Build func(lambda float64) (g *Graph, s, t int)
+}
+
+// MaxConcurrentFraction binary-searches the largest λ ∈ [0,1] for which the
+// single-super-source max-flow saturates all scaled demands. Because all
+// commodities share disjoint task nodes in the paper's construction, the
+// multicommodity problem collapses to a single-commodity feasibility check.
+// The returned λ is the fractional (LP-relaxed) optimum within tol — an
+// upper bound on what any integral allocation (and hence Custody) can
+// achieve (§III-B: the integral problem is NP-hard).
+func MaxConcurrentFraction(inst ConcurrentInstance, tol float64) float64 {
+	if tol <= 0 {
+		tol = 1e-4
+	}
+	total := 0.0
+	for _, d := range inst.Demands {
+		total += d
+	}
+	if total == 0 {
+		return 1
+	}
+	feasible := func(lambda float64) bool {
+		g, s, t := inst.Build(lambda)
+		want := 0.0
+		for _, d := range inst.Demands {
+			want += d * lambda
+		}
+		got := g.MaxFlow(s, t)
+		return got+1e-7 >= want
+	}
+	lo, hi := 0.0, 1.0
+	if feasible(1) {
+		return 1
+	}
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		if feasible(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// LocalityInstance is the concrete §III-B network for the task-level
+// data-aware sharing problem: application i has Tasks[i] input tasks, task k
+// of application i can run locally on the executors in Candidates[i][k]
+// (executor indices are cluster-wide, 0..Executors-1).
+type LocalityInstance struct {
+	Executors  int
+	Candidates [][][]int // [app][task] → executor indices with the block
+}
+
+// FractionalUpperBound returns the LP-relaxed max-min fraction of local
+// tasks per application, and the per-application demands used.
+func (li LocalityInstance) FractionalUpperBound(tol float64) float64 {
+	demands := make([]float64, len(li.Candidates))
+	for i, tasks := range li.Candidates {
+		demands[i] = float64(len(tasks))
+	}
+	inst := ConcurrentInstance{
+		Demands: demands,
+		Build: func(lambda float64) (*Graph, int, int) {
+			// Node layout: 0 = super source, 1..A = app sources,
+			// then one node per task, then one per executor, then sink.
+			apps := len(li.Candidates)
+			taskBase := 1 + apps
+			nTasks := 0
+			for _, ts := range li.Candidates {
+				nTasks += len(ts)
+			}
+			execBase := taskBase + nTasks
+			sink := execBase + li.Executors
+			g := NewGraph(sink + 1)
+			tn := taskBase
+			for i, tasks := range li.Candidates {
+				g.AddEdge(0, 1+i, demands[i]*lambda)
+				for _, cands := range tasks {
+					g.AddEdge(1+i, tn, 1)
+					for _, e := range cands {
+						g.AddEdge(tn, execBase+e, 1)
+					}
+					tn++
+				}
+			}
+			for e := 0; e < li.Executors; e++ {
+				g.AddEdge(execBase+e, sink, 1)
+			}
+			return g, 0, sink
+		},
+	}
+	return MaxConcurrentFraction(inst, tol)
+}

@@ -1,0 +1,448 @@
+// Package netsim models data movement as max-min fair fluid flows over a set
+// of capacitated resources.
+//
+// Each simulated node exposes three resources: an uplink, a downlink, and a
+// local disk. A transfer (Flow) consumes one or more resources — a local disk
+// read uses only {disk[n]}, a remote HDFS read uses {disk[src], up[src],
+// down[dst]}, and a shuffle fetch uses {up[src], down[dst]}. Whenever the set
+// of active flows changes, rates are recomputed with progressive filling
+// (water-filling): repeatedly find the most contended resource, freeze all
+// flows crossing it at the fair share, and continue with the residual
+// capacities. The result is the classic max-min fair allocation.
+//
+// Flow completions are event-driven: after every rate change the fabric
+// advances each flow's remaining bytes and reschedules a single timer for the
+// earliest completion.
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// ResourceKind identifies what a resource models.
+type ResourceKind int
+
+const (
+	// Uplink is a node's egress network capacity.
+	Uplink ResourceKind = iota
+	// Downlink is a node's ingress network capacity.
+	Downlink
+	// Disk is a node's local storage read/write bandwidth.
+	Disk
+	// FlowCap is a per-flow private rate limit.
+	FlowCap
+)
+
+func (k ResourceKind) String() string {
+	switch k {
+	case Uplink:
+		return "up"
+	case Downlink:
+		return "down"
+	case Disk:
+		return "disk"
+	case FlowCap:
+		return "flowcap"
+	}
+	return "unknown"
+}
+
+// Resource is a capacitated link or device shared by flows.
+type Resource struct {
+	Kind     ResourceKind
+	Node     int
+	Capacity float64 // bytes per second
+
+	flows map[*Flow]struct{}
+}
+
+// Flow is an in-progress transfer across a set of resources.
+type Flow struct {
+	ID        int64
+	Bytes     float64 // total size
+	remaining float64
+	rate      float64
+	resources []*Resource
+	done      func()
+	started   float64
+	finished  bool
+	cancelled bool
+}
+
+// Rate returns the flow's current max-min fair rate in bytes/second.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Remaining returns the bytes left to transfer as of the last rate update.
+func (f *Flow) Remaining() float64 { return f.remaining }
+
+// Started returns the simulated time at which the flow was started.
+func (f *Flow) Started() float64 { return f.started }
+
+// Done reports whether the flow completed (not cancelled).
+func (f *Flow) Done() bool { return f.finished }
+
+// Fabric owns all node resources and active flows.
+type Fabric struct {
+	eng     *sim.Engine
+	up      []*Resource
+	down    []*Resource
+	disk    []*Resource
+	flows   map[*Flow]struct{}
+	nextID  int64
+	latency float64
+
+	lastUpdate float64
+	timer      *sim.Timer
+
+	// TotalBytesMoved accumulates completed flow volume for diagnostics.
+	TotalBytesMoved float64
+	// CompletedFlows counts flows that ran to completion.
+	CompletedFlows int64
+}
+
+// Config describes per-node capacities in bytes per second.
+type Config struct {
+	UplinkBps   float64
+	DownlinkBps float64
+	DiskBps     float64
+	// LatencySec is a fixed per-transfer setup delay (connection
+	// establishment, RPC round-trip) charged before a flow starts moving
+	// bytes. Zero disables it.
+	LatencySec float64
+}
+
+// LinodeConfig mirrors the paper's testbed (§VI-A1): 2 Gbps uplink,
+// 40 Gbps downlink, SSD local storage (~400 MB/s effective).
+func LinodeConfig() Config {
+	return Config{
+		UplinkBps:   2e9 / 8,
+		DownlinkBps: 40e9 / 8,
+		DiskBps:     400e6,
+	}
+}
+
+// NewFabric builds a fabric with n nodes, each with the given capacities.
+func NewFabric(eng *sim.Engine, n int, cfg Config) *Fabric {
+	if n <= 0 {
+		panic("netsim: NewFabric with n <= 0")
+	}
+	if cfg.UplinkBps <= 0 || cfg.DownlinkBps <= 0 || cfg.DiskBps <= 0 {
+		panic("netsim: NewFabric with non-positive capacity")
+	}
+	f := &Fabric{
+		eng:     eng,
+		flows:   make(map[*Flow]struct{}),
+		latency: cfg.LatencySec,
+	}
+	for i := 0; i < n; i++ {
+		f.up = append(f.up, &Resource{Kind: Uplink, Node: i, Capacity: cfg.UplinkBps, flows: map[*Flow]struct{}{}})
+		f.down = append(f.down, &Resource{Kind: Downlink, Node: i, Capacity: cfg.DownlinkBps, flows: map[*Flow]struct{}{}})
+		f.disk = append(f.disk, &Resource{Kind: Disk, Node: i, Capacity: cfg.DiskBps, flows: map[*Flow]struct{}{}})
+	}
+	return f
+}
+
+// Nodes returns the number of nodes in the fabric.
+func (fb *Fabric) Nodes() int { return len(fb.up) }
+
+// ActiveFlows returns the number of flows currently in flight.
+func (fb *Fabric) ActiveFlows() int { return len(fb.flows) }
+
+// LocalRead starts a disk-only read of the given size on node n.
+func (fb *Fabric) LocalRead(n int, bytes float64, done func()) *Flow {
+	return fb.start(bytes, done, fb.disk[n])
+}
+
+// RemoteRead starts a read of a block stored on src delivered to dst:
+// it consumes the source disk, the source uplink and the destination
+// downlink.
+func (fb *Fabric) RemoteRead(src, dst int, bytes float64, done func()) *Flow {
+	return fb.RemoteReadCap(src, dst, bytes, 0, done)
+}
+
+// RemoteReadCap is RemoteRead with an additional per-flow rate cap in
+// bytes/second (0 = uncapped), modeling protocol overhead on single-stream
+// remote block reads (HDFS remote reads do not reach line rate; the paper
+// cites network reads as "as much as 20 times slower than local data
+// access", §III-C). The cap is realized as a private resource of the flow,
+// so max-min fairness still applies below it.
+func (fb *Fabric) RemoteReadCap(src, dst int, bytes, capBps float64, done func()) *Flow {
+	if src == dst {
+		return fb.LocalRead(src, bytes, done)
+	}
+	res := []*Resource{fb.disk[src], fb.up[src], fb.down[dst]}
+	if capBps > 0 {
+		res = append(res, &Resource{Kind: FlowCap, Node: dst, Capacity: capBps, flows: map[*Flow]struct{}{}})
+	}
+	return fb.start(bytes, done, res...)
+}
+
+// Transfer starts a memory-to-memory network transfer (e.g., a shuffle
+// fetch) consuming the source uplink and destination downlink.
+func (fb *Fabric) Transfer(src, dst int, bytes float64, done func()) *Flow {
+	if src == dst {
+		// Node-local shuffle data short-circuits the network; model it as a
+		// (fast) local disk read of the map output.
+		return fb.LocalRead(src, bytes, done)
+	}
+	return fb.start(bytes, done, fb.up[src], fb.down[dst])
+}
+
+// StartCustom starts a flow over an explicit resource set. Intended for
+// tests and extensions.
+func (fb *Fabric) StartCustom(bytes float64, done func(), resources ...*Resource) *Flow {
+	return fb.start(bytes, done, resources...)
+}
+
+// UplinkResource exposes node n's uplink (for StartCustom and tests).
+func (fb *Fabric) UplinkResource(n int) *Resource { return fb.up[n] }
+
+// DownlinkResource exposes node n's downlink.
+func (fb *Fabric) DownlinkResource(n int) *Resource { return fb.down[n] }
+
+// DiskResource exposes node n's disk.
+func (fb *Fabric) DiskResource(n int) *Resource { return fb.disk[n] }
+
+func (fb *Fabric) start(bytes float64, done func(), resources ...*Resource) *Flow {
+	if bytes < 0 || math.IsNaN(bytes) {
+		panic(fmt.Sprintf("netsim: flow with invalid size %v", bytes))
+	}
+	if len(resources) == 0 {
+		panic("netsim: flow with no resources")
+	}
+	fb.nextID++
+	fl := &Flow{
+		ID:        fb.nextID,
+		Bytes:     bytes,
+		remaining: bytes,
+		resources: resources,
+		done:      done,
+		started:   fb.eng.Now(),
+	}
+	if bytes == 0 {
+		// Zero-byte flows complete after the setup latency without
+		// touching the rate allocation.
+		fb.eng.Schedule(fb.latency, func() {
+			if fl.cancelled {
+				return
+			}
+			fl.finished = true
+			fb.CompletedFlows++
+			if done != nil {
+				done()
+			}
+		})
+		return fl
+	}
+	if fb.latency > 0 {
+		// Charge connection setup before the flow contends for bandwidth.
+		fb.eng.Schedule(fb.latency, func() {
+			if fl.cancelled {
+				return
+			}
+			fb.activate(fl)
+		})
+		return fl
+	}
+	fb.activate(fl)
+	return fl
+}
+
+// activate admits a flow into the fluid rate allocation.
+func (fb *Fabric) activate(fl *Flow) {
+	fb.advance()
+	fb.flows[fl] = struct{}{}
+	for _, r := range fl.resources {
+		r.flows[fl] = struct{}{}
+	}
+	fb.reallocate()
+}
+
+// Cancel aborts a flow in flight. Its done callback never runs. Cancelling a
+// finished or already-cancelled flow is a no-op.
+func (fb *Fabric) Cancel(fl *Flow) {
+	if fl == nil || fl.finished || fl.cancelled {
+		return
+	}
+	fl.cancelled = true
+	fb.advance()
+	fb.detach(fl)
+	fb.reallocate()
+}
+
+func (fb *Fabric) detach(fl *Flow) {
+	delete(fb.flows, fl)
+	for _, r := range fl.resources {
+		delete(r.flows, fl)
+	}
+}
+
+// advance applies elapsed progress to every active flow at the current rates.
+func (fb *Fabric) advance() {
+	now := fb.eng.Now()
+	dt := now - fb.lastUpdate
+	fb.lastUpdate = now
+	if dt <= 0 {
+		return
+	}
+	for fl := range fb.flows {
+		fl.remaining -= fl.rate * dt
+		if fl.remaining < 0 {
+			fl.remaining = 0
+		}
+	}
+}
+
+// reallocate recomputes max-min fair rates via progressive filling and
+// reschedules the completion timer.
+func (fb *Fabric) reallocate() {
+	if fb.timer != nil {
+		fb.eng.Cancel(fb.timer)
+		fb.timer = nil
+	}
+	if len(fb.flows) == 0 {
+		return
+	}
+
+	// Progressive filling. residual[r] tracks unallocated capacity;
+	// unfrozen[r] the number of still-unfrozen flows on r. All iteration
+	// happens over deterministically ordered slices so tie-breaking (and
+	// floating-point accumulation order) is reproducible run to run.
+	type rstate struct {
+		residual float64
+		unfrozen int
+	}
+	states := make(map[*Resource]*rstate)
+	var active []*Resource // deterministic order of first touch
+	flows := fb.sortedFlows()
+	for _, fl := range flows {
+		fl.rate = -1 // unfrozen marker
+		for _, r := range fl.resources {
+			st, ok := states[r]
+			if !ok {
+				st = &rstate{residual: r.Capacity}
+				states[r] = st
+				active = append(active, r)
+			}
+			st.unfrozen++
+		}
+	}
+	remaining := len(flows)
+	for remaining > 0 {
+		// Find the bottleneck: the resource with the smallest fair share
+		// (first touched wins ties).
+		var bottleneck *Resource
+		best := math.Inf(1)
+		for _, r := range active {
+			st := states[r]
+			if st.unfrozen == 0 {
+				continue
+			}
+			share := st.residual / float64(st.unfrozen)
+			if share < best {
+				best = share
+				bottleneck = r
+			}
+		}
+		if bottleneck == nil {
+			// No contended resources left; should not happen since every
+			// flow crosses at least one resource.
+			panic("netsim: progressive filling found no bottleneck")
+		}
+		// Freeze every unfrozen flow crossing the bottleneck at the share,
+		// in flow-ID order.
+		for _, fl := range flows {
+			if fl.rate >= 0 || !crosses(fl, bottleneck) {
+				continue
+			}
+			fl.rate = best
+			remaining--
+			for _, r := range fl.resources {
+				st := states[r]
+				st.residual -= best
+				if st.residual < 0 {
+					st.residual = 0
+				}
+				st.unfrozen--
+			}
+		}
+	}
+
+	// Schedule the earliest completion.
+	soonest := math.Inf(1)
+	for fl := range fb.flows {
+		if fl.rate <= 0 {
+			continue
+		}
+		t := fl.remaining / fl.rate
+		if t < soonest {
+			soonest = t
+		}
+	}
+	if math.IsInf(soonest, 1) {
+		panic("netsim: active flows but no positive rates")
+	}
+	fb.timer = fb.eng.Schedule(soonest, fb.onCompletion)
+}
+
+// sortedFlows returns the active flows ordered by ID.
+func (fb *Fabric) sortedFlows() []*Flow {
+	out := make([]*Flow, 0, len(fb.flows))
+	for fl := range fb.flows {
+		out = append(out, fl)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// crosses reports whether fl uses resource r.
+func crosses(fl *Flow, r *Resource) bool {
+	for _, rr := range fl.resources {
+		if rr == r {
+			return true
+		}
+	}
+	return false
+}
+
+// onCompletion fires when at least one flow should have drained.
+func (fb *Fabric) onCompletion() {
+	fb.timer = nil
+	fb.advance()
+	const eps = 1e-9
+	var finished []*Flow
+	for _, fl := range fb.sortedFlows() {
+		if fl.remaining <= fl.Bytes*eps+eps {
+			finished = append(finished, fl)
+		}
+	}
+	for _, fl := range finished {
+		fl.remaining = 0
+		fl.finished = true
+		fb.detach(fl)
+		fb.TotalBytesMoved += fl.Bytes
+		fb.CompletedFlows++
+	}
+	fb.reallocate()
+	// Run callbacks after rates are consistent so callbacks that start new
+	// flows observe a clean state.
+	for _, fl := range finished {
+		if fl.done != nil {
+			fl.done()
+		}
+	}
+}
+
+// Utilization returns the fraction of a resource's capacity currently
+// allocated; useful in tests and metrics.
+func (fb *Fabric) Utilization(r *Resource) float64 {
+	sum := 0.0
+	for fl := range r.flows {
+		sum += fl.rate
+	}
+	return sum / r.Capacity
+}

@@ -1,0 +1,167 @@
+// Package trace records simulation timelines: executor allocations, task
+// launches and completions, job lifecycle, and node failures. Traces are the
+// raw material for debugging scheduling decisions and for the utilization
+// analyses in the ablations; they export to CSV or JSON Lines.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Kind classifies a trace event.
+type Kind string
+
+// Event kinds emitted by the driver.
+const (
+	AppRegister Kind = "app-register"
+	JobSubmit   Kind = "job-submit"
+	JobFinish   Kind = "job-finish"
+	ExecAlloc   Kind = "exec-alloc"
+	ExecRelease Kind = "exec-release"
+	TaskLaunch  Kind = "task-launch"
+	TaskFinish  Kind = "task-finish"
+	NodeFail    Kind = "node-fail"
+	NodeRecover Kind = "node-recover"
+)
+
+// Event is one timeline entry. Unused integer fields are -1.
+type Event struct {
+	Time  float64 `json:"t"`
+	Kind  Kind    `json:"kind"`
+	App   int     `json:"app"`
+	Job   int     `json:"job"`
+	Stage int     `json:"stage"`
+	Task  int     `json:"task"`
+	Exec  int     `json:"exec"`
+	Node  int     `json:"node"`
+	Local bool    `json:"local,omitempty"`
+}
+
+// Tracer consumes events.
+type Tracer interface {
+	Emit(Event)
+}
+
+// Nop discards all events.
+type Nop struct{}
+
+// Emit implements Tracer.
+func (Nop) Emit(Event) {}
+
+// Recorder stores events in order.
+type Recorder struct {
+	Events []Event
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Emit implements Tracer.
+func (r *Recorder) Emit(e Event) { r.Events = append(r.Events, e) }
+
+// Filter returns the events of one kind.
+func (r *Recorder) Filter(kind Kind) []Event {
+	var out []Event
+	for _, e := range r.Events {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Count returns the number of events of one kind.
+func (r *Recorder) Count(kind Kind) int { return len(r.Filter(kind)) }
+
+// Span returns the first and last event times (0,0 when empty).
+func (r *Recorder) Span() (first, last float64) {
+	if len(r.Events) == 0 {
+		return 0, 0
+	}
+	return r.Events[0].Time, r.Events[len(r.Events)-1].Time
+}
+
+// csvHeader is the column layout of WriteCSV.
+const csvHeader = "time,kind,app,job,stage,task,exec,node,local"
+
+// WriteCSV writes the trace as CSV.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, csvHeader); err != nil {
+		return err
+	}
+	for _, e := range r.Events {
+		row := strings.Join([]string{
+			strconv.FormatFloat(e.Time, 'f', 6, 64),
+			string(e.Kind),
+			strconv.Itoa(e.App), strconv.Itoa(e.Job), strconv.Itoa(e.Stage),
+			strconv.Itoa(e.Task), strconv.Itoa(e.Exec), strconv.Itoa(e.Node),
+			strconv.FormatBool(e.Local),
+		}, ",")
+		if _, err := fmt.Fprintln(w, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSONL writes the trace as JSON Lines.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range r.Events {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MigrationCount counts executor ownership changes (alloc events whose
+// executor was previously allocated to a different app).
+func (r *Recorder) MigrationCount() int {
+	last := map[int]int{}
+	n := 0
+	for _, e := range r.Events {
+		if e.Kind != ExecAlloc {
+			continue
+		}
+		if prev, ok := last[e.Exec]; ok && prev != e.App {
+			n++
+		}
+		last[e.Exec] = e.App
+	}
+	return n
+}
+
+// BusySlotSeconds integrates task occupancy: Σ (finish − launch) over all
+// task-finish events paired with their launches.
+func (r *Recorder) BusySlotSeconds() float64 {
+	type key struct{ app, job, stage, task int }
+	launched := map[key]float64{}
+	total := 0.0
+	for _, e := range r.Events {
+		k := key{e.App, e.Job, e.Stage, e.Task}
+		switch e.Kind {
+		case TaskLaunch:
+			launched[k] = e.Time
+		case TaskFinish:
+			if t0, ok := launched[k]; ok {
+				total += e.Time - t0
+				delete(launched, k)
+			}
+		}
+	}
+	return total
+}
+
+// Utilization returns BusySlotSeconds divided by (slots × span).
+func (r *Recorder) Utilization(totalSlots int) float64 {
+	first, last := r.Span()
+	if totalSlots <= 0 || last <= first {
+		return 0
+	}
+	return r.BusySlotSeconds() / (float64(totalSlots) * (last - first))
+}

@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		{Time: 0, Kind: AppRegister, App: 0, Job: -1, Stage: -1, Task: -1, Exec: -1, Node: -1},
+		{Time: 1, Kind: JobSubmit, App: 0, Job: 1, Stage: -1, Task: -1, Exec: -1, Node: -1},
+		{Time: 1, Kind: ExecAlloc, App: 0, Job: -1, Stage: -1, Task: -1, Exec: 3, Node: 1},
+		{Time: 1.5, Kind: TaskLaunch, App: 0, Job: 1, Stage: 0, Task: 0, Exec: 3, Node: 1},
+		{Time: 4.5, Kind: TaskFinish, App: 0, Job: 1, Stage: 0, Task: 0, Exec: 3, Node: 1, Local: true},
+		{Time: 4.5, Kind: JobFinish, App: 0, Job: 1, Stage: -1, Task: -1, Exec: -1, Node: -1, Local: true},
+		{Time: 5, Kind: ExecAlloc, App: 1, Job: -1, Stage: -1, Task: -1, Exec: 3, Node: 1},
+	}
+}
+
+func load(r *Recorder) {
+	for _, e := range sampleEvents() {
+		r.Emit(e)
+	}
+}
+
+func TestRecorderFilterCount(t *testing.T) {
+	r := NewRecorder()
+	load(r)
+	if r.Count(ExecAlloc) != 2 {
+		t.Fatalf("ExecAlloc count = %d", r.Count(ExecAlloc))
+	}
+	if got := r.Filter(TaskFinish); len(got) != 1 || !got[0].Local {
+		t.Fatalf("TaskFinish filter = %+v", got)
+	}
+	if r.Count(NodeFail) != 0 {
+		t.Fatal("phantom NodeFail events")
+	}
+}
+
+func TestSpan(t *testing.T) {
+	r := NewRecorder()
+	if a, b := r.Span(); a != 0 || b != 0 {
+		t.Fatal("empty span not zero")
+	}
+	load(r)
+	first, last := r.Span()
+	if first != 0 || last != 5 {
+		t.Fatalf("span = %v..%v", first, last)
+	}
+}
+
+func TestMigrationCount(t *testing.T) {
+	r := NewRecorder()
+	load(r)
+	// Executor 3: app 0 → app 1 is one migration.
+	if got := r.MigrationCount(); got != 1 {
+		t.Fatalf("migrations = %d", got)
+	}
+}
+
+func TestBusySlotSecondsAndUtilization(t *testing.T) {
+	r := NewRecorder()
+	load(r)
+	if got := r.BusySlotSeconds(); got != 3.0 {
+		t.Fatalf("busy slot seconds = %v, want 3 (4.5-1.5)", got)
+	}
+	// Span 5 s, 2 slots → utilization 3/(2*5) = 0.3.
+	if got := r.Utilization(2); got != 0.3 {
+		t.Fatalf("utilization = %v", got)
+	}
+	if got := r.Utilization(0); got != 0 {
+		t.Fatalf("utilization with 0 slots = %v", got)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := NewRecorder()
+	load(r)
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(sampleEvents())+1 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if lines[0] != csvHeader {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[4], "task-launch") {
+		t.Fatalf("row 4 = %q", lines[4])
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	r := NewRecorder()
+	load(r)
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(sampleEvents()) {
+		t.Fatalf("jsonl lines = %d", len(lines))
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(lines[3]), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Kind != TaskLaunch || e.Exec != 3 {
+		t.Fatalf("decoded = %+v", e)
+	}
+}
+
+func TestNopTracer(t *testing.T) {
+	var n Nop
+	n.Emit(Event{}) // must not panic
+}

@@ -1,0 +1,269 @@
+// Package workload generates the paper's three evaluation workloads
+// (§VI-A2) as job DAGs plus the shared submission schedule:
+//
+//   - PageRank: iterative and network-heavy; 1 GB input per job, several
+//     all-to-all iterations over rank data.
+//   - WordCount: network-light; 4–8 GB input, one map stage and a very
+//     short reduce.
+//   - Sort: compute- and network-heavy; 1–8 GB input, full-size shuffle.
+//
+// Arrivals are exponential with a 4-second mean "in accordance with the
+// Facebook trace", and the same schedule is shared by every compared run
+// "to minimize the influence of random factors".
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/app"
+	"repro/internal/hdfs"
+	"repro/internal/xrand"
+)
+
+// Kind names a workload.
+type Kind string
+
+// The paper's three workloads.
+const (
+	PageRank  Kind = "PageRank"
+	WordCount Kind = "WordCount"
+	Sort      Kind = "Sort"
+)
+
+// Kinds lists the workloads in the paper's presentation order.
+func Kinds() []Kind { return []Kind{WordCount, Sort, PageRank} }
+
+// Calibrated task-model constants. Absolute values are chosen so that task
+// and job durations land in a realistic range for the paper's hardware
+// (128 MB block ≈ 0.32 s local read at 400 MB/s); only relative behaviour
+// matters for the reproduction.
+const (
+	mb = 1 << 20
+
+	// WordCount: CPU-heavy map, tiny intermediate data (§VI-A2: "the
+	// intermediate results of WordCount are significantly reduced").
+	wcMapSecPerMB    = 0.03
+	wcMapOutputFrac  = 0.05
+	wcReduceSecPerMB = 0.01
+	wcReducePerMaps  = 8 // one reduce task per 8 map tasks
+
+	// Sort: the full input crosses the network in the shuffle ("not only
+	// call for extensive computation resources but also incur a large
+	// amount of network transmissions").
+	sortMapSecPerMB    = 0.02
+	sortMapOutputFrac  = 1.0
+	sortReduceSecPerMB = 0.012
+	sortReducePerMaps  = 2
+
+	// PageRank: 5 rank-exchange iterations over ~50% of the input per
+	// iteration ("usually involve a large amount of network transfers");
+	// iteration work dominates the input stage, so expediting input tasks
+	// helps PageRank least (§VI-B).
+	prIterations     = 5
+	prMapSecPerMB    = 0.02
+	prIterFrac       = 0.50
+	prIterSecPerMB   = 0.03
+	prFinalSecPerMB  = 0.005
+	prFinalFrac      = 0.02
+	prTasksPerBlocks = 1 // iteration width = number of input blocks
+)
+
+// InputSize returns a deterministic input size for the j-th job of a
+// workload, inside the paper's per-workload ranges.
+func InputSize(kind Kind, rng *xrand.Rand) int64 {
+	gb := int64(1) << 30
+	switch kind {
+	case PageRank:
+		return 1 * gb // "The size of the input data file for a PageRank job is 1GB"
+	case WordCount:
+		return int64(rng.IntRange(4, 8)) * gb // 4–8 GB
+	case Sort:
+		return int64(rng.IntRange(1, 8)) * gb // 1–8 GB
+	default:
+		panic(fmt.Sprintf("workload: unknown kind %q", kind))
+	}
+}
+
+// BuildJob constructs the DAG for one job of the given kind reading file f.
+func BuildJob(kind Kind, id int, f *hdfs.File) *app.Job {
+	switch kind {
+	case WordCount:
+		return buildWordCount(id, f)
+	case Sort:
+		return buildSort(id, f)
+	case PageRank:
+		return buildPageRank(id, f)
+	default:
+		panic(fmt.Sprintf("workload: unknown kind %q", kind))
+	}
+}
+
+func blockMB(f *hdfs.File) float64 {
+	if len(f.Blocks) == 0 {
+		return 0
+	}
+	return float64(f.Blocks[0].Size) / mb
+}
+
+func buildWordCount(id int, f *hdfs.File) *app.Job {
+	b := app.NewJob(id, string(WordCount), f.Name)
+	perBlockMB := blockMB(f)
+	in := b.AddInputStage("map", f.Blocks, app.TaskSpec{
+		ComputeSec:  wcMapSecPerMB * perBlockMB,
+		OutputBytes: int64(wcMapOutputFrac * float64(f.Blocks[0].Size)),
+	})
+	reduces := len(f.Blocks) / wcReducePerMaps
+	if reduces < 1 {
+		reduces = 1
+	}
+	shuffleTotal := wcMapOutputFrac * float64(f.Size)
+	perReduceMB := shuffleTotal / float64(reduces) / mb
+	b.AddShuffleStage("reduce", []*app.Stage{in}, reduces, int64(shuffleTotal/float64(reduces)), app.TaskSpec{
+		ComputeSec: wcReduceSecPerMB * perReduceMB,
+	})
+	return b.Build()
+}
+
+func buildSort(id int, f *hdfs.File) *app.Job {
+	b := app.NewJob(id, string(Sort), f.Name)
+	perBlockMB := blockMB(f)
+	in := b.AddInputStage("map", f.Blocks, app.TaskSpec{
+		ComputeSec:  sortMapSecPerMB * perBlockMB,
+		OutputBytes: int64(sortMapOutputFrac * float64(f.Blocks[0].Size)),
+	})
+	reduces := len(f.Blocks) / sortReducePerMaps
+	if reduces < 1 {
+		reduces = 1
+	}
+	shuffleTotal := sortMapOutputFrac * float64(f.Size)
+	perReduceMB := shuffleTotal / float64(reduces) / mb
+	b.AddShuffleStage("reduce", []*app.Stage{in}, reduces, int64(shuffleTotal/float64(reduces)), app.TaskSpec{
+		ComputeSec: sortReduceSecPerMB * perReduceMB,
+	})
+	return b.Build()
+}
+
+func buildPageRank(id int, f *hdfs.File) *app.Job {
+	b := app.NewJob(id, string(PageRank), f.Name)
+	perBlockMB := blockMB(f)
+	width := len(f.Blocks) * prTasksPerBlocks
+	if width < 1 {
+		width = 1
+	}
+	iterTotal := prIterFrac * float64(f.Size)
+	perIterTaskBytes := int64(iterTotal / float64(width))
+	perIterTaskMB := float64(perIterTaskBytes) / mb
+
+	prev := b.AddInputStage("load", f.Blocks, app.TaskSpec{
+		ComputeSec:  prMapSecPerMB * perBlockMB,
+		OutputBytes: perIterTaskBytes, // ranks handed to iteration 1
+	})
+	for it := 1; it <= prIterations; it++ {
+		prev = b.AddShuffleStage(fmt.Sprintf("iter%d", it), []*app.Stage{prev}, width, perIterTaskBytes, app.TaskSpec{
+			ComputeSec:  prIterSecPerMB * perIterTaskMB,
+			OutputBytes: perIterTaskBytes,
+		})
+	}
+	finalBytes := int64(prFinalFrac * float64(f.Size))
+	b.AddShuffleStage("collect", []*app.Stage{prev}, 1, finalBytes, app.TaskSpec{
+		ComputeSec: prFinalSecPerMB * float64(finalBytes) / mb,
+	})
+	return b.Build()
+}
+
+// Spec configures a generated experiment schedule.
+type Spec struct {
+	Kind             Kind
+	Apps             int     // paper: 4
+	JobsPerApp       int     // paper: 30
+	MeanInterarrival float64 // paper: 4 s
+	// DatasetFiles is the size of the shared input-file pool; jobs pick
+	// files with Zipf-skewed popularity, producing the hot blocks §IV-A
+	// discusses. Zero defaults to Apps*JobsPerApp/6.
+	DatasetFiles int
+	// ZipfSkew is the popularity exponent (0 = uniform).
+	ZipfSkew float64
+}
+
+// DefaultSpec mirrors §VI-A2.
+func DefaultSpec(kind Kind) Spec {
+	return Spec{
+		Kind:             kind,
+		Apps:             4,
+		JobsPerApp:       30,
+		MeanInterarrival: 4.0,
+		ZipfSkew:         0.8,
+	}
+}
+
+// FileSpec describes one input file of the dataset pool.
+type FileSpec struct {
+	Name string
+	Size int64
+}
+
+// Submission schedules one job: application appIdx submits a job reading
+// pool file FileIdx at time At.
+type Submission struct {
+	App     int
+	At      float64
+	FileIdx int
+}
+
+// Schedule is a complete, deterministic experiment plan: the dataset to
+// pre-load into HDFS and the job arrivals. The same Schedule is replayed
+// under every manager being compared.
+type Schedule struct {
+	Spec  Spec
+	Files []FileSpec
+	Subs  []Submission
+}
+
+// Generate builds a schedule from a spec and seed stream.
+func Generate(spec Spec, rng *xrand.Rand) Schedule {
+	if spec.Apps <= 0 || spec.JobsPerApp <= 0 {
+		panic("workload: Spec needs Apps and JobsPerApp > 0")
+	}
+	if spec.MeanInterarrival <= 0 {
+		spec.MeanInterarrival = 4.0
+	}
+	files := spec.DatasetFiles
+	if files <= 0 {
+		files = spec.Apps * spec.JobsPerApp / 6
+		if files < 1 {
+			files = 1
+		}
+	}
+	sizeRng := rng.Fork("sizes:" + string(spec.Kind))
+	sched := Schedule{Spec: spec}
+	for i := 0; i < files; i++ {
+		sched.Files = append(sched.Files, FileSpec{
+			Name: fmt.Sprintf("%s/input-%03d", spec.Kind, i),
+			Size: InputSize(spec.Kind, sizeRng),
+		})
+	}
+	zipf := xrand.NewZipf(rng.Fork("popularity"), files, spec.ZipfSkew)
+	for a := 0; a < spec.Apps; a++ {
+		arr := rng.Fork(fmt.Sprintf("arrivals:%d", a))
+		t := 0.0
+		for j := 0; j < spec.JobsPerApp; j++ {
+			t += arr.Exp(spec.MeanInterarrival)
+			sched.Subs = append(sched.Subs, Submission{App: a, At: t, FileIdx: zipf.Next()})
+		}
+	}
+	return sched
+}
+
+// TotalJobs returns the number of scheduled submissions.
+func (s Schedule) TotalJobs() int { return len(s.Subs) }
+
+// Horizon returns the last submission time.
+func (s Schedule) Horizon() float64 {
+	h := 0.0
+	for _, sub := range s.Subs {
+		if sub.At > h {
+			h = sub.At
+		}
+	}
+	return h
+}

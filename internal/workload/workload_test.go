@@ -1,0 +1,249 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hdfs"
+	"repro/internal/xrand"
+)
+
+func mkFile(t *testing.T, size int64) *hdfs.File {
+	t.Helper()
+	nn := hdfs.NewNameNode(20, xrand.New(5))
+	f, err := nn.Create("in", size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestInputSizeRanges(t *testing.T) {
+	rng := xrand.New(9)
+	gb := int64(1) << 30
+	for i := 0; i < 200; i++ {
+		if s := InputSize(PageRank, rng); s != gb {
+			t.Fatalf("PageRank size = %d, want 1GB", s)
+		}
+		if s := InputSize(WordCount, rng); s < 4*gb || s > 8*gb {
+			t.Fatalf("WordCount size = %d, want 4–8GB", s)
+		}
+		if s := InputSize(Sort, rng); s < 1*gb || s > 8*gb {
+			t.Fatalf("Sort size = %d, want 1–8GB", s)
+		}
+	}
+}
+
+func TestInputSizeUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown kind did not panic")
+		}
+	}()
+	InputSize("Bogus", xrand.New(1))
+}
+
+func TestWordCountShape(t *testing.T) {
+	f := mkFile(t, 4<<30) // 32 blocks
+	j := BuildJob(WordCount, 1, f)
+	if j.Workload != "WordCount" || len(j.Stages) != 2 {
+		t.Fatalf("job shape: %s %d stages", j.Workload, len(j.Stages))
+	}
+	in := j.InputStage()
+	if len(in.Tasks) != 32 {
+		t.Fatalf("map tasks = %d, want 32", len(in.Tasks))
+	}
+	red := j.Stages[1]
+	if len(red.Tasks) != 4 { // 32/8
+		t.Fatalf("reduce tasks = %d, want 4", len(red.Tasks))
+	}
+	// Network-light: shuffle volume is a small fraction of input.
+	var shuffle int64
+	for _, task := range in.Tasks {
+		shuffle += task.OutputBytes
+	}
+	if frac := float64(shuffle) / float64(f.Size); frac > 0.1 {
+		t.Fatalf("WordCount shuffle fraction %v, want <= 0.1", frac)
+	}
+}
+
+func TestSortShape(t *testing.T) {
+	f := mkFile(t, 2<<30) // 16 blocks
+	j := BuildJob(Sort, 1, f)
+	in := j.InputStage()
+	if len(in.Tasks) != 16 {
+		t.Fatalf("map tasks = %d", len(in.Tasks))
+	}
+	red := j.Stages[1]
+	if len(red.Tasks) != 8 { // 16/2
+		t.Fatalf("reduce tasks = %d, want 8", len(red.Tasks))
+	}
+	// Network-heavy: the whole input crosses the shuffle.
+	var shuffle int64
+	for _, task := range in.Tasks {
+		shuffle += task.OutputBytes
+	}
+	if math.Abs(float64(shuffle)-float64(f.Size)) > float64(f.Size)*0.01 {
+		t.Fatalf("Sort shuffle = %d, want ≈ input %d", shuffle, f.Size)
+	}
+}
+
+func TestPageRankShape(t *testing.T) {
+	f := mkFile(t, 1<<30) // 8 blocks
+	j := BuildJob(PageRank, 1, f)
+	// load + 5 iterations + collect
+	if len(j.Stages) != 7 {
+		t.Fatalf("stages = %d, want 7", len(j.Stages))
+	}
+	if len(j.InputStage().Tasks) != 8 {
+		t.Fatalf("load tasks = %d", len(j.InputStage().Tasks))
+	}
+	for i := 1; i <= 5; i++ {
+		s := j.Stages[i]
+		if s.Input() || len(s.Tasks) != 8 {
+			t.Fatalf("iter stage %d malformed", i)
+		}
+		if len(s.Parents) != 1 || s.Parents[0] != j.Stages[i-1] {
+			t.Fatalf("iter stage %d parents wrong", i)
+		}
+	}
+	// Iteration compute must dominate the input stage (the paper's reason
+	// PageRank benefits least from input locality).
+	inputWork := 0.0
+	for _, task := range j.InputStage().Tasks {
+		inputWork += task.ComputeSec
+	}
+	iterWork := 0.0
+	for i := 1; i <= 5; i++ {
+		for _, task := range j.Stages[i].Tasks {
+			iterWork += task.ComputeSec
+		}
+	}
+	if iterWork <= inputWork {
+		t.Fatalf("iterations (%.1fs) do not dominate input (%.1fs)", iterWork, inputWork)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := DefaultSpec(Sort)
+	a := Generate(spec, xrand.New(11))
+	b := Generate(spec, xrand.New(11))
+	if len(a.Subs) != len(b.Subs) || len(a.Files) != len(b.Files) {
+		t.Fatal("schedules differ in size")
+	}
+	for i := range a.Subs {
+		if a.Subs[i] != b.Subs[i] {
+			t.Fatalf("submission %d differs", i)
+		}
+	}
+	c := Generate(spec, xrand.New(12))
+	same := true
+	for i := range a.Subs {
+		if a.Subs[i] != c.Subs[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestGenerateStructure(t *testing.T) {
+	spec := DefaultSpec(WordCount)
+	s := Generate(spec, xrand.New(3))
+	if s.TotalJobs() != 120 {
+		t.Fatalf("total jobs = %d, want 4×30", s.TotalJobs())
+	}
+	perApp := map[int]int{}
+	lastAt := map[int]float64{}
+	for _, sub := range s.Subs {
+		perApp[sub.App]++
+		if sub.At <= lastAt[sub.App] {
+			t.Fatalf("app %d arrivals not increasing", sub.App)
+		}
+		lastAt[sub.App] = sub.At
+		if sub.FileIdx < 0 || sub.FileIdx >= len(s.Files) {
+			t.Fatalf("file index %d out of range", sub.FileIdx)
+		}
+	}
+	for a := 0; a < 4; a++ {
+		if perApp[a] != 30 {
+			t.Fatalf("app %d has %d jobs", a, perApp[a])
+		}
+	}
+	if s.Horizon() <= 0 {
+		t.Fatal("empty horizon")
+	}
+}
+
+func TestGenerateInterarrivalMean(t *testing.T) {
+	spec := DefaultSpec(Sort)
+	spec.JobsPerApp = 2000
+	spec.Apps = 1
+	s := Generate(spec, xrand.New(17))
+	mean := s.Horizon() / float64(len(s.Subs))
+	if math.Abs(mean-4.0) > 0.4 {
+		t.Fatalf("mean inter-arrival = %v, want ~4s", mean)
+	}
+}
+
+func TestZipfSkewConcentratesFiles(t *testing.T) {
+	spec := DefaultSpec(Sort)
+	spec.JobsPerApp = 500
+	spec.DatasetFiles = 20
+	spec.ZipfSkew = 1.2
+	s := Generate(spec, xrand.New(19))
+	counts := make([]int, 20)
+	for _, sub := range s.Subs {
+		counts[sub.FileIdx]++
+	}
+	if counts[0] <= counts[19] {
+		t.Fatalf("no popularity skew: first=%d last=%d", counts[0], counts[19])
+	}
+}
+
+// Property: any valid spec yields a well-formed schedule.
+func TestQuickGenerate(t *testing.T) {
+	f := func(seed uint64, appsRaw, jobsRaw, filesRaw uint8) bool {
+		spec := Spec{
+			Kind:             Sort,
+			Apps:             int(appsRaw%6) + 1,
+			JobsPerApp:       int(jobsRaw%20) + 1,
+			MeanInterarrival: 4,
+			DatasetFiles:     int(filesRaw % 10), // 0 → default
+		}
+		s := Generate(spec, xrand.New(seed))
+		if s.TotalJobs() != spec.Apps*spec.JobsPerApp {
+			return false
+		}
+		if len(s.Files) == 0 {
+			return false
+		}
+		for _, sub := range s.Subs {
+			if sub.At <= 0 || sub.App < 0 || sub.App >= spec.Apps {
+				return false
+			}
+			if sub.FileIdx < 0 || sub.FileIdx >= len(s.Files) {
+				return false
+			}
+		}
+		for _, fl := range s.Files {
+			if fl.Size <= 0 || fl.Name == "" {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindsOrder(t *testing.T) {
+	ks := Kinds()
+	if len(ks) != 3 || ks[0] != WordCount || ks[1] != Sort || ks[2] != PageRank {
+		t.Fatalf("Kinds = %v", ks)
+	}
+}
