@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# ci.sh — the full verification pipeline, runnable locally and in CI.
+#
+# Order matters: formatting and static analysis run before the build so a
+# contract violation fails fast with a precise diagnostic instead of a test
+# log. custodylint (cmd/custodylint) enforces the project invariants
+# documented in DESIGN.md: determinism (detrand, maporder), layering, and
+# error-handling (errdrop).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "$unformatted"
+    echo "gofmt: the files above need formatting"
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== custodylint"
+go run ./cmd/custodylint ./...
+
+echo "== custodylint negative fixtures"
+for d in internal/analysis/testdata/src/*_bad; do
+    if go run ./cmd/custodylint -root "$d" -modpath fixture >/dev/null 2>&1; then
+        echo "custodylint unexpectedly exited 0 on negative fixture $d"
+        exit 1
+    fi
+done
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "ci: OK"

@@ -48,11 +48,13 @@ func main() {
 			if ferr != nil {
 				fail(ferr)
 			}
-			if werr := experiments.WriteMarkdownReport(f, sw); werr != nil {
-				f.Close()
+			werr := experiments.WriteMarkdownReport(f, sw)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
 				fail(werr)
 			}
-			f.Close()
 			fmt.Printf("markdown report written to %s\n", *mdOut)
 		}
 		render := func(t experiments.Table) string {

@@ -1,0 +1,79 @@
+// Command custodylint runs the project's static-analysis suite over the
+// module: determinism (detrand, maporder), layering, and error-handling
+// (errdrop) contracts. See internal/analysis for the rules and DESIGN.md
+// ("Invariants & static analysis") for the rationale.
+//
+// Usage:
+//
+//	custodylint [flags] [packages]
+//
+// The package patterns are accepted for familiarity (`./...`) but the whole
+// module is always analyzed; the tool walks the module tree itself so it
+// works without go/packages or any external dependency. Exits 0 when clean,
+// 1 on findings, 2 on usage or load errors.
+//
+// Flags:
+//
+//	-root dir      module root to analyze (default: walk up from cwd to go.mod)
+//	-modpath path  module path override (for trees without a go.mod, e.g. fixtures)
+//	-rules         print the rule set and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	root := flag.String("root", "", "module root to analyze (default: nearest go.mod above cwd)")
+	modpath := flag.String("modpath", "", "module path override (for fixture trees without a go.mod)")
+	rules := flag.Bool("rules", false, "print the rule set and exit")
+	flag.Parse()
+
+	if *rules {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-10s %s\n", a.Name(), a.Doc())
+		}
+		return
+	}
+
+	if *root == "" {
+		cwd, err := os.Getwd()
+		if err != nil {
+			fatal(err)
+		}
+		r, err := analysis.FindModuleRoot(cwd)
+		if err != nil {
+			fatal(err)
+		}
+		*root = r
+	}
+
+	var m *analysis.Module
+	var err error
+	if *modpath != "" {
+		m, err = analysis.Load(*root, *modpath)
+	} else {
+		m, err = analysis.LoadModule(*root)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	diags := analysis.Run(m, analysis.All())
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "custodylint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "custodylint:", err)
+	os.Exit(2)
+}

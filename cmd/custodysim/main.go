@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 
 	"repro/custody"
 	"repro/internal/metrics"
@@ -70,7 +71,14 @@ func main() {
 	fmt.Printf("  reallocations=%d migrations=%d offer-rejections=%d\n",
 		col.Reallocations, col.ExecutorMigrations, col.OfferRejections)
 	if *verbose {
-		for name, c := range col.PerApp() {
+		perApp := col.PerApp()
+		names := make([]int, 0, len(perApp))
+		for name := range perApp {
+			names = append(names, name)
+		}
+		sort.Ints(names)
+		for _, name := range names {
+			c := perApp[name]
 			fmt.Printf("  app %d: localJobs=%.3f jct=%.2fs\n", name,
 				c.PctLocalJobs(), metrics.Summarize(c.JobCompletionTimes()).Mean)
 		}
@@ -81,8 +89,11 @@ func main() {
 			log.Printf("custodysim: %v", err)
 			os.Exit(1)
 		}
-		defer f.Close()
-		if err := res.Trace.WriteCSV(f); err != nil {
+		err = res.Trace.WriteCSV(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
 			log.Printf("custodysim: %v", err)
 			os.Exit(1)
 		}

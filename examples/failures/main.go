@@ -66,8 +66,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer f.Close()
-	if err := rec.WriteCSV(f); err != nil {
+	err = rec.WriteCSV(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("full trace written to %s\n", f.Name())

@@ -10,6 +10,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	"repro/custody"
 	"repro/internal/metrics"
@@ -58,7 +59,14 @@ func main() {
 
 	fmt.Printf("completed %d jobs across 3 applications on a 40-node cluster\n\n", len(col.Jobs))
 	fmt.Printf("%-12s %10s %12s %12s\n", "workload", "locality", "meanJCT(s)", "input(s)")
-	for name, c := range col.PerWorkload() {
+	perWL := col.PerWorkload()
+	names := make([]string, 0, len(perWL))
+	for name := range perWL {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c := perWL[name]
 		fmt.Printf("%-12s %9.3f %11.2f %11.2f\n", name,
 			metrics.Summarize(c.LocalityPerJob()).Mean,
 			metrics.Summarize(c.JobCompletionTimes()).Mean,

@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// DetRand enforces the determinism contract on internal/ packages: the
+// allocator, simulator, and their supporting layers must be pure functions
+// of their inputs so that runs reproduce byte-for-byte. Ambient sources of
+// nondeterminism — the global math/rand generators, wall-clock time, and
+// environment variables — are banned inside internal/ (internal/xrand, the
+// seeded generator that randomness must flow through, is exempt). cmd/ and
+// examples/ sit at the edge of the system and may read clocks and flags.
+type DetRand struct{}
+
+// Name implements Analyzer.
+func (DetRand) Name() string { return "detrand" }
+
+// Doc implements Analyzer.
+func (DetRand) Doc() string {
+	return "forbid math/rand, time.Now, and os.Getenv inside internal/ (outside internal/xrand); " +
+		"seeded randomness must be injected explicitly via internal/xrand"
+}
+
+// Run implements Analyzer.
+func (DetRand) Run(m *Module, pkg *Package) []Diagnostic {
+	prefix := m.Path + "/internal/"
+	if !strings.HasPrefix(pkg.Path, prefix) {
+		return nil
+	}
+	xrand := m.Path + "/internal/xrand"
+	if pkg.Path == xrand || strings.HasPrefix(pkg.Path, xrand+"/") {
+		return nil
+	}
+
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		for _, spec := range f.Imports {
+			p := strings.Trim(spec.Path.Value, `"`)
+			if p == "math/rand" || p == "math/rand/v2" {
+				diags = append(diags, Diagnostic{
+					Pos:  m.Fset.Position(spec.Pos()),
+					Rule: "detrand",
+					Message: fmt.Sprintf("import of %s in internal code: use %s with an explicit seed "+
+						"so results are reproducible", p, xrand),
+				})
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			path := importedPackage(pkg, f, id)
+			var msg string
+			switch {
+			case path == "time" && sel.Sel.Name == "Now":
+				msg = "time.Now in internal code makes runs irreproducible; take the timestamp or a clock as a parameter"
+			case path == "os" && sel.Sel.Name == "Getenv":
+				msg = "os.Getenv in internal code hides configuration from the caller; plumb the value through Options"
+			default:
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:     m.Fset.Position(sel.Pos()),
+				Rule:    "detrand",
+				Message: msg,
+			})
+			return true
+		})
+	}
+	return diags
+}

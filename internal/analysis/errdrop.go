@@ -1,0 +1,205 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop flags silently dropped error returns outside tests: assignments
+// that discard an error into the blank identifier, and call statements
+// (including defer and go) whose error result is never looked at. Dropped
+// errors turn I/O failures into silently truncated experiment reports.
+//
+// A small allowlist covers calls whose errors are conventionally
+// meaningless: the fmt.Print family writing to stdout, and the never-failing
+// writers strings.Builder and bytes.Buffer. Everything else needs handling
+// or an explicit //custody:ignore errdrop <reason>.
+type ErrDrop struct{}
+
+// Name implements Analyzer.
+func (ErrDrop) Name() string { return "errdrop" }
+
+// Doc implements Analyzer.
+func (ErrDrop) Doc() string {
+	return "forbid _-discarded and entirely ignored error returns outside tests " +
+		"(fmt.Print* to stdout and strings.Builder/bytes.Buffer writes are exempt)"
+}
+
+// Run implements Analyzer.
+func (ErrDrop) Run(m *Module, pkg *Package) []Diagnostic {
+	if pkg.Info == nil {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				diags = append(diags, checkAssign(m, pkg, s)...)
+			case *ast.ExprStmt:
+				diags = append(diags, checkIgnoredCall(m, pkg, f, s.X, "")...)
+			case *ast.DeferStmt:
+				diags = append(diags, checkIgnoredCall(m, pkg, f, s.Call, "deferred ")...)
+			case *ast.GoStmt:
+				diags = append(diags, checkIgnoredCall(m, pkg, f, s.Call, "spawned ")...)
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// checkAssign flags blank-identifier positions that swallow an error, for
+// both forms: `_ = f()` / `v, _ := f()` (one call, tuple results) and
+// `a, _ := x, erroringCall()` (paired assignment).
+func checkAssign(m *Module, pkg *Package, s *ast.AssignStmt) []Diagnostic {
+	var diags []Diagnostic
+	flag := func(call *ast.CallExpr) {
+		diags = append(diags, Diagnostic{
+			Pos:  m.Fset.Position(s.Pos()),
+			Rule: "errdrop",
+			Message: fmt.Sprintf("error result of %s discarded with _; handle it or suppress with "+
+				"//custody:ignore errdrop <reason>", calleeString(call)),
+		})
+	}
+	if len(s.Rhs) == 1 {
+		call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return nil
+		}
+		results := resultTypes(pkg, call)
+		for i, lhs := range s.Lhs {
+			if isBlank(lhs) && i < len(results) && isErrorType(results[i]) {
+				flag(call)
+				break // one diagnostic per statement is enough
+			}
+		}
+		return diags
+	}
+	for i, rhs := range s.Rhs {
+		if i >= len(s.Lhs) || !isBlank(s.Lhs[i]) {
+			continue
+		}
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		results := resultTypes(pkg, call)
+		if len(results) == 1 && isErrorType(results[0]) {
+			flag(call)
+		}
+	}
+	return diags
+}
+
+// checkIgnoredCall flags expression/defer/go statements whose callee
+// returns an error that nothing receives.
+func checkIgnoredCall(m *Module, pkg *Package, f *ast.File, e ast.Expr, kind string) []Diagnostic {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	hasErr := false
+	for _, t := range resultTypes(pkg, call) {
+		if isErrorType(t) {
+			hasErr = true
+			break
+		}
+	}
+	if !hasErr || allowlisted(pkg, f, call) {
+		return nil
+	}
+	return []Diagnostic{{
+		Pos:  m.Fset.Position(call.Pos()),
+		Rule: "errdrop",
+		Message: fmt.Sprintf("%scall to %s ignores its error result; handle it or suppress with "+
+			"//custody:ignore errdrop <reason>", kind, calleeString(call)),
+	}}
+}
+
+// resultTypes returns the result types of a call, or nil when type
+// information is unavailable (analysis stays best-effort).
+func resultTypes(pkg *Package, call *ast.CallExpr) []types.Type {
+	if pkg.Info == nil {
+		return nil
+	}
+	t := pkg.Info.TypeOf(call)
+	if t == nil {
+		return nil
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		out := make([]types.Type, tuple.Len())
+		for i := 0; i < tuple.Len(); i++ {
+			out[i] = tuple.At(i).Type()
+		}
+		return out
+	}
+	return []types.Type{t}
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && t.String() == "error"
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// allowlisted reports whether the call's error is conventionally
+// meaningless: fmt prints to stdout/stderr, or writes into the
+// never-failing strings.Builder / bytes.Buffer (directly via their methods
+// or as the destination of a fmt.Fprint* call).
+func allowlisted(pkg *Package, f *ast.File, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, isIdent := sel.X.(*ast.Ident)
+	if isIdent && importedPackage(pkg, f, id) == "fmt" {
+		name := sel.Sel.Name
+		if name == "Print" || name == "Printf" || name == "Println" {
+			return true
+		}
+		if strings.HasPrefix(name, "Fprint") && len(call.Args) > 0 {
+			return infallibleWriter(pkg, call.Args[0])
+		}
+		return false
+	}
+	// Method call: allow writes on the never-failing builders.
+	if pkg.Info != nil {
+		if rt := pkg.Info.TypeOf(sel.X); rt != nil {
+			if isBuilderType(rt.String()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// infallibleWriter reports whether the destination expression of a
+// fmt.Fprint* call can never return a write error: os.Stdout/os.Stderr by
+// convention, strings.Builder and bytes.Buffer by contract.
+func infallibleWriter(pkg *Package, dst ast.Expr) bool {
+	switch types.ExprString(ast.Unparen(dst)) {
+	case "os.Stdout", "os.Stderr":
+		return true
+	}
+	if pkg.Info != nil {
+		if t := pkg.Info.TypeOf(dst); t != nil && isBuilderType(t.String()) {
+			return true
+		}
+	}
+	return false
+}
+
+func isBuilderType(s string) bool {
+	return strings.HasSuffix(s, "strings.Builder") || strings.HasSuffix(s, "bytes.Buffer")
+}
+
+// calleeString renders the called expression for diagnostics.
+func calleeString(call *ast.CallExpr) string {
+	return types.ExprString(ast.Unparen(call.Fun))
+}

@@ -1,0 +1,271 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags `for range` loops over maps whose bodies do
+// ordering-sensitive work: appending to a slice that outlives the loop,
+// emitting output, or sending on a channel. Go randomizes map iteration
+// order, so any of these silently injects nondeterminism into allocation
+// plans and experiment reports.
+//
+// Two escapes are recognized:
+//
+//   - the appended-to slice is passed to a sort or slices call later in the
+//     same function (the newExecPool pattern in internal/core/allocate.go:
+//     collect keys from the map, then sort.Ints them);
+//   - the loop carries a //custody:ordered annotation (trailing on the
+//     `for` line or on the line above), asserting order does not matter.
+//
+// Writes into other maps, counters, and reductions (sums, min/max) are
+// commutative and deliberately not flagged.
+type MapOrder struct{}
+
+// Name implements Analyzer.
+func (MapOrder) Name() string { return "maporder" }
+
+// Doc implements Analyzer.
+func (MapOrder) Doc() string {
+	return "forbid order-sensitive work (append/output/send) fed from map iteration unless the result " +
+		"is sorted in the same function or the loop is annotated //custody:ordered"
+}
+
+// Run implements Analyzer.
+func (MapOrder) Run(m *Module, pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ordered := orderedLines(m.Fset, f)
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			if r, ok := n.(*ast.RangeStmt); ok {
+				diags = append(diags, checkMapRange(m, pkg, f, r, stack, ordered)...)
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+func checkMapRange(m *Module, pkg *Package, f *ast.File, r *ast.RangeStmt, stack []ast.Node, ordered map[int]bool) []Diagnostic {
+	if ordered[m.Fset.Position(r.Pos()).Line] {
+		return nil
+	}
+	if pkg.Info == nil {
+		return nil
+	}
+	t := pkg.Info.TypeOf(r.X)
+	if t == nil {
+		return nil
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return nil
+	}
+
+	type sink struct {
+		expr string
+		pos  ast.Node
+	}
+	var appends []sink
+	var diags []Diagnostic
+
+	ast.Inspect(r.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range s.Rhs {
+				if !isAppendCall(pkg, rhs) || i >= len(s.Lhs) {
+					continue
+				}
+				lhs := s.Lhs[i]
+				if declaredWithin(pkg, lhs, r.Body) {
+					continue // per-iteration scratch slice; order across iterations irrelevant
+				}
+				appends = append(appends, sink{expr: types.ExprString(lhs), pos: lhs})
+			}
+		case *ast.SendStmt:
+			diags = append(diags, Diagnostic{
+				Pos:  m.Fset.Position(s.Pos()),
+				Rule: "maporder",
+				Message: "channel send inside map iteration publishes values in nondeterministic order; " +
+					"collect into a slice and sort, or annotate //custody:ordered",
+			})
+		case *ast.CallExpr:
+			if name := printCallName(pkg, f, s); name != "" {
+				diags = append(diags, Diagnostic{
+					Pos:  m.Fset.Position(s.Pos()),
+					Rule: "maporder",
+					Message: fmt.Sprintf("%s inside map iteration emits output in nondeterministic order; "+
+						"collect into a slice and sort, or annotate //custody:ordered", name),
+				})
+			}
+		}
+		return true
+	})
+
+	if len(appends) > 0 {
+		sorted := sortedAfter(pkg, f, r, stack)
+		for _, s := range appends {
+			if sorted[s.expr] {
+				continue
+			}
+			diags = append(diags, Diagnostic{
+				Pos:  m.Fset.Position(s.pos.Pos()),
+				Rule: "maporder",
+				Message: fmt.Sprintf("map iteration appends to %s in nondeterministic order; sort %s after the loop "+
+					"or annotate //custody:ordered", s.expr, s.expr),
+			})
+		}
+	}
+	return diags
+}
+
+// isAppendCall reports whether e is a call to the builtin append (possibly
+// shadowed — resolved through type info when available).
+func isAppendCall(pkg *Package, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	if pkg.Info != nil {
+		if obj, ok := pkg.Info.Uses[id]; ok {
+			_, builtin := obj.(*types.Builtin)
+			return builtin
+		}
+	}
+	return true
+}
+
+// declaredWithin reports whether the root identifier of e is declared
+// inside the node span of body (i.e. is loop-local state).
+func declaredWithin(pkg *Package, e ast.Expr, body *ast.BlockStmt) bool {
+	id := rootIdent(e)
+	if id == nil || pkg.Info == nil {
+		return false
+	}
+	obj := pkg.Info.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() >= body.Pos() && obj.Pos() <= body.End()
+}
+
+// rootIdent unwraps selectors, indexes, and stars down to the base
+// identifier of an lvalue expression.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// printCallName returns a display name if call writes output (the fmt print
+// family or the builtin print/println), else "".
+func printCallName(pkg *Package, f *ast.File, call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fun.Name == "print" || fun.Name == "println" {
+			return fun.Name
+		}
+	case *ast.SelectorExpr:
+		id, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return ""
+		}
+		if importedPackage(pkg, f, id) != "fmt" {
+			return ""
+		}
+		if strings.HasPrefix(fun.Sel.Name, "Print") || strings.HasPrefix(fun.Sel.Name, "Fprint") {
+			return "fmt." + fun.Sel.Name
+		}
+	}
+	return ""
+}
+
+// sortedAfter returns the set of expression strings passed to a sorting
+// call in statements that follow r within its nearest enclosing statement
+// list. A sorting call is anything in the sort or slices packages, or a
+// local helper whose name contains "sort" (e.g. sortTasks(requeue)).
+func sortedAfter(pkg *Package, f *ast.File, r *ast.RangeStmt, stack []ast.Node) map[string]bool {
+	sorted := map[string]bool{}
+	for _, st := range followingStmts(stack) {
+		ast.Inspect(st, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isSortCall(pkg, f, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				sorted[types.ExprString(arg)] = true
+			}
+			return true
+		})
+	}
+	return sorted
+}
+
+func isSortCall(pkg *Package, f *ast.File, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return strings.Contains(strings.ToLower(fun.Name), "sort")
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if p := importedPackage(pkg, f, id); p == "sort" || p == "slices" {
+				return true
+			}
+		}
+		return strings.Contains(strings.ToLower(fun.Sel.Name), "sort")
+	}
+	return false
+}
+
+// followingStmts returns the statements after the top of stack (the range
+// statement) in its nearest enclosing statement list — the rest of the
+// surrounding block, case clause, or comm clause.
+func followingStmts(stack []ast.Node) []ast.Stmt {
+	for i := len(stack) - 2; i >= 0; i-- {
+		var list []ast.Stmt
+		switch p := stack[i].(type) {
+		case *ast.BlockStmt:
+			list = p.List
+		case *ast.CaseClause:
+			list = p.Body
+		case *ast.CommClause:
+			list = p.Body
+		default:
+			continue
+		}
+		child := stack[i+1]
+		for j, st := range list {
+			if st == child {
+				return list[j+1:]
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,20 @@
+// Package work is a negative fixture: every ambient nondeterminism source
+// banned inside internal/ appears here.
+package work
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Seed mixes three forbidden ambient sources.
+func Seed() int64 {
+	if os.Getenv("CUSTODY_SEED") != "" {
+		return 1
+	}
+	return time.Now().UnixNano()
+}
+
+// Jitter leans on the global math/rand stream.
+func Jitter() float64 { return rand.Float64() }

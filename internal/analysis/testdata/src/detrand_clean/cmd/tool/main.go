@@ -1,0 +1,13 @@
+// Command tool sits at the edge of the system: reading clocks and the
+// environment is allowed outside internal/.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+)
+
+func main() {
+	fmt.Println(time.Now(), os.Getenv("HOME"))
+}

@@ -1,0 +1,14 @@
+// Package work is a positive fixture: randomness and time are injected by
+// the caller, so nothing ambient leaks into internal code.
+package work
+
+// Pick consumes an explicitly injected random stream.
+func Pick(next func() uint64, n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	return next() % n
+}
+
+// Deadline works on a timestamp the caller supplies.
+func Deadline(now float64, timeout float64) float64 { return now + timeout }

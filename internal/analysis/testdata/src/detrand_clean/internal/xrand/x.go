@@ -1,0 +1,8 @@
+// Package xrand is exempt from detrand: it is the one place ambient
+// entropy may be captured and turned into explicit seeds.
+package xrand
+
+import "time"
+
+// WallSeed captures ambient time as a seed. Allowed only here.
+func WallSeed() int64 { return time.Now().UnixNano() }

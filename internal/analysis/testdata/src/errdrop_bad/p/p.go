@@ -1,0 +1,38 @@
+// Package p is a negative fixture: every way of silently dropping an
+// error, plus malformed suppressions.
+package p
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+func work() error { return errors.New("boom") }
+
+func pair() (int, error) { return 1, nil }
+
+// Discard swallows errors into the blank identifier.
+func Discard() int {
+	_ = work()
+	n, _ := pair()
+	return n
+}
+
+// Ignore drops errors by never receiving them.
+func Ignore(f *os.File) {
+	work()
+	defer work()
+	fmt.Fprintln(f, "file writers can fail")
+}
+
+// Sloppy shows that a suppression without a reason both fails to suppress
+// and is itself reported.
+func Sloppy() {
+	work() //custody:ignore errdrop
+}
+
+// Typo shows that a suppression naming an unknown rule is reported.
+func Typo() {
+	work() //custody:ignore errdorp fat-fingered rule name
+}

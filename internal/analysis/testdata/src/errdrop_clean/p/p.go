@@ -1,0 +1,38 @@
+// Package p is a positive fixture: errors handled, conventionally
+// infallible writers used, and one suppression with a reason.
+package p
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func work() error { return errors.New("boom") }
+
+// Handled propagates the error.
+func Handled() error {
+	if err := work(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Prints exercises the allowlist: stdout/stderr prints and the
+// never-failing builders.
+func Prints(buf *bytes.Buffer) string {
+	fmt.Println("stdout is conventionally unchecked")
+	fmt.Fprintf(os.Stderr, "stderr too\n")
+	var b strings.Builder
+	fmt.Fprintf(&b, "builders never fail: %d\n", 1)
+	b.WriteString("neither do their methods")
+	buf.WriteString(b.String())
+	return b.String()
+}
+
+// Suppressed carries the mandatory reason.
+func Suppressed(f *os.File) {
+	defer f.Close() //custody:ignore errdrop read-only handle; close error carries no signal
+}

@@ -1,0 +1,5 @@
+// Package tool is binary-layer scaffolding for the fixture.
+package tool
+
+// Name identifies the package for the fixture.
+var Name = "tool"

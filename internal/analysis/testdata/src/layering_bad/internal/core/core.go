@@ -1,0 +1,11 @@
+// Package core is a negative fixture: a leaf layer importing both an
+// orchestration layer and a binary.
+package core
+
+import (
+	"fixture/cmd/tool"
+	"fixture/internal/driver"
+)
+
+// Names pulls symbols through the forbidden imports.
+func Names() string { return driver.Name + tool.Name }

@@ -1,0 +1,5 @@
+// Package driver is orchestration-layer scaffolding for the fixture.
+package driver
+
+// Name identifies the package for the fixture.
+var Name = "driver"

@@ -1,0 +1,8 @@
+// Package core is a positive fixture: a leaf importing a utility leaf is
+// fine; the DAG only forbids upward imports.
+package core
+
+import "fixture/internal/util"
+
+// Bound trims a demand to the executor count.
+func Bound(demand, execs int) int { return util.Clamp(demand, 0, execs) }

@@ -1,0 +1,8 @@
+// Package driver is a positive fixture: orchestration importing the leaf
+// below it is the intended direction of the DAG.
+package driver
+
+import "fixture/internal/core"
+
+// Plan allocates through the leaf layer.
+func Plan(demand, execs int) int { return core.Bound(demand, execs) }

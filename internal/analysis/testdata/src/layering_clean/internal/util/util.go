@@ -1,0 +1,13 @@
+// Package util is a utility leaf the other leaves may import.
+package util
+
+// Clamp bounds v to [lo, hi].
+func Clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

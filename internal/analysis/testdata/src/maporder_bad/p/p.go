@@ -1,0 +1,28 @@
+// Package p is a negative fixture: ordering-sensitive work fed straight
+// from map iteration, never sorted and never annotated.
+package p
+
+import "fmt"
+
+// Keys leaks map order into a slice.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Dump emits output in map order.
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+// Publish sends in map order.
+func Publish(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k
+	}
+}

@@ -1,0 +1,78 @@
+// Package p is a positive fixture: every map iteration either does
+// commutative work, restores order afterwards, or is annotated.
+package p
+
+import "sort"
+
+// Keys collects then sorts — the canonical allowed pattern
+// (newExecPool in internal/core/allocate.go).
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sum is a commutative reduction; iteration order cannot matter.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Invert writes into another map; distinct keys commute.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Batch asserts order-independence explicitly.
+func Batch(m map[string]int, sink func([]string)) {
+	var out []string
+	//custody:ordered sink treats the batch as an unordered set
+	for k := range m {
+		out = append(out, k)
+	}
+	sink(out)
+}
+
+// Scratch appends only to a loop-local slice; order across iterations is
+// not observable.
+func Scratch(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var tmp []int
+		tmp = append(tmp, vs...)
+		n += len(tmp)
+	}
+	return n
+}
+
+// Helper restores order through a local sort helper rather than the sort
+// package directly.
+func Helper(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	sortInts(out)
+	return out
+}
+
+func sortInts(xs []int) { sort.Ints(xs) }
+
+// Ordered ranges over a slice, which iterates deterministically.
+func Ordered(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

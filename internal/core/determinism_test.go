@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/hdfs"
+	"repro/internal/xrand"
+)
+
+// genDemands builds a deterministic but non-trivial allocation instance:
+// several apps with uneven budgets, jobs of varying size, replicated
+// blocks, and contention (more locality demand than executors on the hot
+// nodes).
+func genDemands(rng *xrand.Rand, apps, nodes int) ([]AppDemand, []ExecInfo) {
+	var ds []AppDemand
+	block := hdfs.BlockID(0)
+	for a := 0; a < apps; a++ {
+		d := AppDemand{
+			App:        a,
+			Budget:     rng.IntRange(2, 6),
+			Held:       rng.Intn(2),
+			ExtraTasks: rng.Intn(3),
+			LocalJobs:  rng.Intn(3),
+			TotalJobs:  3 + rng.Intn(3),
+			LocalTasks: rng.Intn(10),
+			TotalTasks: 10 + rng.Intn(10),
+		}
+		for j := 0; j < rng.IntRange(1, 4); j++ {
+			jd := JobDemand{Job: j}
+			for t := 0; t < rng.IntRange(1, 5); t++ {
+				n1 := rng.Intn(nodes)
+				n2 := rng.Intn(nodes)
+				jd.Tasks = append(jd.Tasks, TaskDemand{
+					Task:  t,
+					Block: block,
+					Nodes: []int{n1, n2},
+				})
+				block++
+			}
+			d.Jobs = append(d.Jobs, jd)
+		}
+		ds = append(ds, d)
+	}
+	var idle []ExecInfo
+	for e := 0; e < nodes; e++ {
+		idle = append(idle, ExecInfo{ID: e, Node: e % (nodes / 2), Slots: 1 + rng.Intn(2)})
+	}
+	return ds, idle
+}
+
+// shuffled returns deep-enough copies of the inputs with every
+// order-insensitive slice permuted: the app list, each app's job list, and
+// the idle executor list. Task order within a job is intentionally kept —
+// Algorithm 2 serves a job's tasks in demand order, so task position is
+// semantically meaningful input, not incidental ordering.
+func shuffled(rng *xrand.Rand, apps []AppDemand, idle []ExecInfo) ([]AppDemand, []ExecInfo) {
+	as := append([]AppDemand(nil), apps...)
+	rng.Shuffle(len(as), func(i, j int) { as[i], as[j] = as[j], as[i] })
+	for i := range as {
+		jobs := append([]JobDemand(nil), as[i].Jobs...)
+		rng.Shuffle(len(jobs), func(x, y int) { jobs[x], jobs[y] = jobs[y], jobs[x] })
+		as[i].Jobs = jobs
+	}
+	es := append([]ExecInfo(nil), idle...)
+	rng.Shuffle(len(es), func(i, j int) { es[i], es[j] = es[j], es[i] })
+	return as, es
+}
+
+// TestAllocateDeterministicUnderShuffle pins the documented contract of
+// Allocate ("Deterministic: ties are broken by identifiers"): the plan must
+// be byte-identical no matter how the input slices are ordered. 20 trials
+// with independently shuffled inputs, against both intra-app strategies'
+// default option sets.
+func TestAllocateDeterministicUnderShuffle(t *testing.T) {
+	for _, opts := range []Options{DefaultOptions(), {FillToBudget: false}} {
+		name := fmt.Sprintf("fill=%v", opts.FillToBudget)
+		t.Run(name, func(t *testing.T) {
+			gen := xrand.New(0xC0DE)
+			apps, idle := genDemands(gen, 6, 20)
+
+			base := fmt.Sprintf("%#v", Allocate(apps, idle, opts))
+			shuf := gen.Fork("shuffle")
+			for trial := 0; trial < 20; trial++ {
+				as, es := shuffled(shuf, apps, idle)
+				got := fmt.Sprintf("%#v", Allocate(as, es, opts))
+				if got != base {
+					t.Fatalf("trial %d: plan differs under input shuffle\n got: %s\nwant: %s", trial, got, base)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,190 @@
+// Package event provides a deterministic discrete-event simulation engine.
+//
+// Events are ordered by (time, sequence number), so two events scheduled for
+// the same instant fire in the order they were scheduled. All times are in
+// seconds, represented as float64. The engine is single-threaded by design:
+// simulations built on it are fully deterministic given a fixed seed.
+package event
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Timer is a handle to a scheduled event. It can be used to cancel the event
+// before it fires.
+type Timer struct {
+	time      float64
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // heap index, -1 once popped
+}
+
+// Time returns the simulated time at which the timer fires.
+func (t *Timer) Time() float64 { return t.time }
+
+// Cancelled reports whether Cancel was called on the timer.
+func (t *Timer) Cancelled() bool { return t.cancelled }
+
+// Engine is a discrete-event simulation engine.
+//
+// The zero value is not usable; construct with NewEngine.
+type Engine struct {
+	pq        eventHeap
+	now       float64
+	seq       uint64
+	executed  uint64
+	running   bool
+	stopped   bool
+	horizon   float64 // RunUntil limit; +Inf when unused
+	panicWrap bool
+}
+
+// NewEngine returns an empty engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{horizon: math.Inf(1)}
+}
+
+// Now returns the current simulated time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Executed returns the number of events that have fired so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending returns the number of events currently scheduled (including
+// cancelled events that have not yet been discarded).
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// Schedule schedules fn to run delay seconds from now and returns a handle
+// that may be used to cancel it. A negative delay is treated as zero.
+// Panics if delay is NaN.
+func (e *Engine) Schedule(delay float64, fn func()) *Timer {
+	if math.IsNaN(delay) {
+		panic("event: Schedule called with NaN delay")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At schedules fn to run at absolute time t, which must not be in the past.
+func (e *Engine) At(t float64, fn func()) *Timer {
+	if fn == nil {
+		panic("event: At called with nil function")
+	}
+	if t < e.now {
+		panic(fmt.Sprintf("event: At called with time %v < now %v", t, e.now))
+	}
+	tm := &Timer{time: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.pq, tm)
+	return tm
+}
+
+// Cancel cancels a previously scheduled timer. Cancelling a nil timer or a
+// timer that has already fired is a no-op.
+func (e *Engine) Cancel(t *Timer) {
+	if t == nil || t.cancelled || t.index < 0 {
+		if t != nil {
+			t.cancelled = true
+		}
+		return
+	}
+	t.cancelled = true
+	heap.Remove(&e.pq, t.index)
+}
+
+// Step executes the next pending event, if any, and reports whether an event
+// was executed. Cancelled events are discarded without counting as a step.
+func (e *Engine) Step() bool {
+	for len(e.pq) > 0 {
+		tm := heap.Pop(&e.pq).(*Timer)
+		if tm.cancelled {
+			continue
+		}
+		if tm.time > e.horizon {
+			// Past the run horizon: push back and refuse.
+			heap.Push(&e.pq, tm)
+			return false
+		}
+		e.now = tm.time
+		e.executed++
+		tm.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (e *Engine) Run() {
+	e.horizon = math.Inf(1)
+	e.loop()
+}
+
+// RunUntil executes events with time <= t, then advances the clock to t.
+// Events scheduled for later remain pending.
+func (e *Engine) RunUntil(t float64) {
+	if t < e.now {
+		panic(fmt.Sprintf("event: RunUntil(%v) is in the past (now=%v)", t, e.now))
+	}
+	e.horizon = t
+	e.loop()
+	e.horizon = math.Inf(1)
+	if !e.stopped && e.now < t {
+		e.now = t
+	}
+	e.stopped = false
+}
+
+// Stop aborts a Run or RunUntil in progress after the current event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+func (e *Engine) loop() {
+	if e.running {
+		panic("event: re-entrant Run")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for !e.stopped && e.Step() {
+	}
+	if e.stopped && e.horizon == math.Inf(1) {
+		e.stopped = false
+	}
+}
+
+// eventHeap implements heap.Interface ordered by (time, seq).
+type eventHeap []*Timer
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	t := x.(*Timer)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/race"
 	"repro/internal/workload"
 )
 
@@ -211,6 +212,9 @@ func TestPaperSweepShapes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full paper sweep is slow; run without -short")
 	}
+	if race.Enabled {
+		t.Skip("full paper sweep is ~10x slower under the race detector; TestRunSweepQuickGrid covers the same paths")
+	}
 	sw, err := RunSweep(PaperSizes, workload.Kinds(), []ManagerKind{Standalone, Custody}, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
@@ -301,6 +305,9 @@ func TestRunManagersQuick(t *testing.T) {
 }
 
 func TestRunSchedulersQuick(t *testing.T) {
+	if race.Enabled {
+		t.Skip("scheduler comparison grid is too slow under the race detector; the other Quick sims cover the same engine paths")
+	}
 	res, err := RunSchedulers(quickOpts())
 	if err != nil {
 		t.Fatal(err)

@@ -20,7 +20,7 @@ import (
 	"math"
 	"sort"
 
-	"repro/internal/sim"
+	"repro/internal/event"
 )
 
 // ResourceKind identifies what a resource models.
@@ -87,7 +87,7 @@ func (f *Flow) Done() bool { return f.finished }
 
 // Fabric owns all node resources and active flows.
 type Fabric struct {
-	eng     *sim.Engine
+	eng     *event.Engine
 	up      []*Resource
 	down    []*Resource
 	disk    []*Resource
@@ -96,7 +96,7 @@ type Fabric struct {
 	latency float64
 
 	lastUpdate float64
-	timer      *sim.Timer
+	timer      *event.Timer
 
 	// TotalBytesMoved accumulates completed flow volume for diagnostics.
 	TotalBytesMoved float64
@@ -126,7 +126,7 @@ func LinodeConfig() Config {
 }
 
 // NewFabric builds a fabric with n nodes, each with the given capacities.
-func NewFabric(eng *sim.Engine, n int, cfg Config) *Fabric {
+func NewFabric(eng *event.Engine, n int, cfg Config) *Fabric {
 	if n <= 0 {
 		panic("netsim: NewFabric with n <= 0")
 	}

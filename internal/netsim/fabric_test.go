@@ -5,7 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
-	"repro/internal/sim"
+	"repro/internal/event"
 	"repro/internal/xrand"
 )
 
@@ -21,7 +21,7 @@ func cfg(up, down, disk float64) Config {
 }
 
 func TestSingleLocalRead(t *testing.T) {
-	eng := sim.NewEngine()
+	eng := event.NewEngine()
 	fb := NewFabric(eng, 2, cfg(100, 100, 50))
 	var finish float64 = -1
 	fb.LocalRead(0, 500, func() { finish = eng.Now() })
@@ -30,7 +30,7 @@ func TestSingleLocalRead(t *testing.T) {
 }
 
 func TestSingleRemoteRead(t *testing.T) {
-	eng := sim.NewEngine()
+	eng := event.NewEngine()
 	// uplink is the bottleneck: 20 B/s.
 	fb := NewFabric(eng, 2, cfg(20, 100, 50))
 	var finish float64 = -1
@@ -40,7 +40,7 @@ func TestSingleRemoteRead(t *testing.T) {
 }
 
 func TestRemoteReadSameNodeIsLocal(t *testing.T) {
-	eng := sim.NewEngine()
+	eng := event.NewEngine()
 	fb := NewFabric(eng, 2, cfg(1, 1, 50)) // network would take forever
 	var finish float64 = -1
 	fb.RemoteRead(1, 1, 100, func() { finish = eng.Now() })
@@ -49,7 +49,7 @@ func TestRemoteReadSameNodeIsLocal(t *testing.T) {
 }
 
 func TestFairShareTwoFlows(t *testing.T) {
-	eng := sim.NewEngine()
+	eng := event.NewEngine()
 	fb := NewFabric(eng, 2, cfg(100, 100, 40))
 	var t1, t2 float64 = -1, -1
 	fb.LocalRead(0, 200, func() { t1 = eng.Now() })
@@ -61,7 +61,7 @@ func TestFairShareTwoFlows(t *testing.T) {
 }
 
 func TestShorterFlowFreesBandwidth(t *testing.T) {
-	eng := sim.NewEngine()
+	eng := event.NewEngine()
 	fb := NewFabric(eng, 2, cfg(100, 100, 40))
 	var tShort, tLong float64 = -1, -1
 	fb.LocalRead(0, 100, func() { tShort = eng.Now() })
@@ -74,7 +74,7 @@ func TestShorterFlowFreesBandwidth(t *testing.T) {
 }
 
 func TestMaxMinUnevenBottlenecks(t *testing.T) {
-	eng := sim.NewEngine()
+	eng := event.NewEngine()
 	// Node 0 uplink 30; node 1 downlink 100; node 2 downlink 12.
 	fb := NewFabric(eng, 3, cfg(30, 100, 1000))
 	// Flow A: 0→1 (up0, down1). Flow B: 0→2 (up0, down2 where down2 cap=100
@@ -93,7 +93,7 @@ func TestMaxMinUnevenBottlenecks(t *testing.T) {
 }
 
 func TestCancelStopsFlow(t *testing.T) {
-	eng := sim.NewEngine()
+	eng := event.NewEngine()
 	fb := NewFabric(eng, 2, cfg(100, 100, 10))
 	fired := false
 	fl := fb.LocalRead(0, 100, func() { fired = true })
@@ -108,7 +108,7 @@ func TestCancelStopsFlow(t *testing.T) {
 }
 
 func TestCancelRestoresBandwidth(t *testing.T) {
-	eng := sim.NewEngine()
+	eng := event.NewEngine()
 	fb := NewFabric(eng, 2, cfg(100, 100, 40))
 	var tKeep float64 = -1
 	fl := fb.LocalRead(0, 400, nil)
@@ -120,7 +120,7 @@ func TestCancelRestoresBandwidth(t *testing.T) {
 }
 
 func TestZeroByteFlow(t *testing.T) {
-	eng := sim.NewEngine()
+	eng := event.NewEngine()
 	fb := NewFabric(eng, 1, cfg(1, 1, 1))
 	fired := false
 	fb.LocalRead(0, 0, func() { fired = true })
@@ -134,7 +134,7 @@ func TestZeroByteFlow(t *testing.T) {
 }
 
 func TestZeroByteFlowCancel(t *testing.T) {
-	eng := sim.NewEngine()
+	eng := event.NewEngine()
 	fb := NewFabric(eng, 1, cfg(1, 1, 1))
 	fired := false
 	fl := fb.LocalRead(0, 0, func() { fired = true })
@@ -146,7 +146,7 @@ func TestZeroByteFlowCancel(t *testing.T) {
 }
 
 func TestManyFlowsConservation(t *testing.T) {
-	eng := sim.NewEngine()
+	eng := event.NewEngine()
 	fb := NewFabric(eng, 10, cfg(100, 400, 300))
 	rng := xrand.New(99)
 	total := 0.0
@@ -185,7 +185,7 @@ func TestLinodeConfigSanity(t *testing.T) {
 func TestQuickCapacityRespected(t *testing.T) {
 	f := func(seed uint64) bool {
 		rng := xrand.New(seed)
-		eng := sim.NewEngine()
+		eng := event.NewEngine()
 		n := rng.IntRange(2, 8)
 		fb := NewFabric(eng, n, cfg(rng.Range(10, 100), rng.Range(10, 100), rng.Range(10, 100)))
 		k := rng.IntRange(1, 30)
@@ -227,7 +227,7 @@ func TestQuickCapacityRespected(t *testing.T) {
 func TestQuickLoneFlowFullRate(t *testing.T) {
 	f := func(seed uint64) bool {
 		rng := xrand.New(seed)
-		eng := sim.NewEngine()
+		eng := event.NewEngine()
 		up := rng.Range(10, 100)
 		down := rng.Range(10, 100)
 		disk := rng.Range(10, 100)
@@ -246,7 +246,7 @@ func TestQuickLoneFlowFullRate(t *testing.T) {
 
 func BenchmarkReallocate200Flows(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		eng := sim.NewEngine()
+		eng := event.NewEngine()
 		fb := NewFabric(eng, 100, LinodeConfig())
 		rng := xrand.New(7)
 		for j := 0; j < 200; j++ {
@@ -257,7 +257,7 @@ func BenchmarkReallocate200Flows(b *testing.B) {
 }
 
 func TestLatencyDelaysCompletion(t *testing.T) {
-	eng := sim.NewEngine()
+	eng := event.NewEngine()
 	fb := NewFabric(eng, 2, Config{UplinkBps: 100, DownlinkBps: 100, DiskBps: 50, LatencySec: 2})
 	var finish float64 = -1
 	fb.LocalRead(0, 100, func() { finish = eng.Now() })
@@ -267,7 +267,7 @@ func TestLatencyDelaysCompletion(t *testing.T) {
 }
 
 func TestLatencyZeroByteFlow(t *testing.T) {
-	eng := sim.NewEngine()
+	eng := event.NewEngine()
 	fb := NewFabric(eng, 1, Config{UplinkBps: 1, DownlinkBps: 1, DiskBps: 1, LatencySec: 0.5})
 	var finish float64 = -1
 	fb.LocalRead(0, 0, func() { finish = eng.Now() })
@@ -276,7 +276,7 @@ func TestLatencyZeroByteFlow(t *testing.T) {
 }
 
 func TestLatencyCancelDuringSetup(t *testing.T) {
-	eng := sim.NewEngine()
+	eng := event.NewEngine()
 	fb := NewFabric(eng, 1, Config{UplinkBps: 1, DownlinkBps: 1, DiskBps: 10, LatencySec: 5})
 	fired := false
 	fl := fb.LocalRead(0, 100, func() { fired = true })
@@ -291,7 +291,7 @@ func TestLatencyCancelDuringSetup(t *testing.T) {
 }
 
 func TestLatencySetupDoesNotConsumeBandwidth(t *testing.T) {
-	eng := sim.NewEngine()
+	eng := event.NewEngine()
 	fb := NewFabric(eng, 1, Config{UplinkBps: 1, DownlinkBps: 1, DiskBps: 50, LatencySec: 10})
 	var tFast float64 = -1
 	// A latency-free path does not exist per-flow, but a second flow started

@@ -1,0 +1,11 @@
+//go:build !race
+
+// Package race reports whether the race detector is enabled, mirroring the
+// standard library's internal/race. Heavyweight integration tests use it to
+// scale down (the detector costs roughly an order of magnitude in time and
+// memory) so `go test -race ./...` finishes inside default timeouts while
+// plain `go test ./...` keeps full coverage.
+package race
+
+// Enabled reports whether the build has the race detector on.
+const Enabled = false

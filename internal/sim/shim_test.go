@@ -1,0 +1,20 @@
+package sim
+
+import "testing"
+
+// TestShimAliases pins the alias shim: a Timer scheduled through the sim
+// names must be the internal/event implementation, cancellable and ordered.
+func TestShimAliases(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(2, func() { got = append(got, 2) })
+	tm := e.Schedule(1, func() { got = append(got, 1) })
+	e.Cancel(tm)
+	e.Run()
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("shim run executed %v, want [2]", got)
+	}
+	if !tm.Cancelled() {
+		t.Fatalf("cancelled timer not marked cancelled through alias")
+	}
+}
