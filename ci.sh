@@ -37,4 +37,7 @@ go build ./...
 echo "== go test -race"
 go test -race ./...
 
+echo "== chaos smoke (-race)"
+go test -race -count=1 -run TestChaosSmoke ./internal/chaos
+
 echo "ci: OK"

@@ -1,0 +1,215 @@
+// Package chaos generates and injects deterministic fault schedules into a
+// driver run. A Plan is computed up front from a Profile and an xrand stream —
+// no wall clock, no global randomness — so the same seed always produces the
+// same faults at the same simulated times, and a chaos run replays
+// byte-identically. Inject applies the plan through the driver's Inject*
+// operations and optionally runs the cross-layer invariant auditor after every
+// fault application and reversal.
+package chaos
+
+import (
+	"sort"
+
+	"repro/internal/xrand"
+)
+
+// Kind names a fault class.
+type Kind string
+
+// The fault taxonomy. Each kind attacks a different layer: the network
+// fabric (partition, link-degrade, slow-disk), the cluster (executor-crash,
+// node-flap), and HDFS (flaky-datanode suspends heartbeats, stale-metadata
+// freezes the NameNode's location answers).
+const (
+	Partition     Kind = "partition"
+	LinkDegrade   Kind = "link-degrade"
+	ExecutorCrash Kind = "executor-crash"
+	NodeFlap      Kind = "node-flap"
+	SlowDisk      Kind = "slow-disk"
+	FlakyDataNode Kind = "flaky-datanode"
+	StaleMetadata Kind = "stale-metadata"
+)
+
+// Kinds returns every fault kind in canonical planning order.
+func Kinds() []Kind {
+	return []Kind{Partition, LinkDegrade, ExecutorCrash, NodeFlap, SlowDisk, FlakyDataNode, StaleMetadata}
+}
+
+// kindRank gives the canonical order used to break sort ties.
+func kindRank(k Kind) int {
+	for i, kk := range Kinds() {
+		if kk == k {
+			return i
+		}
+	}
+	return len(Kinds())
+}
+
+// Fault is one scheduled fault event. Every fault is a window: it is applied
+// at At and reverted Duration seconds later (all the driver's fault
+// operations have a matching restore), so a finite plan always lets the
+// workload finish.
+type Fault struct {
+	Kind     Kind
+	At       float64 // simulated application time
+	Duration float64 // window length; the revert fires at At+Duration
+	Node     int     // target node (link/disk/flake/flap faults); -1 otherwise
+	Exec     int     // target executor (executor-crash); -1 otherwise
+	Factor   float64 // capacity scale for link-degrade / slow-disk
+	Groups   []int   // per-node group assignment (partition faults)
+}
+
+// Profile sets how many faults of each kind a plan contains and their shape.
+type Profile struct {
+	Partitions      int
+	LinkDegrades    int
+	ExecutorCrashes int
+	NodeFlaps       int
+	SlowDisks       int
+	FlakyDataNodes  int
+	StaleWindows    int
+
+	// MeanDurationSec is the average fault window; actual windows are drawn
+	// uniformly from [0.5, 1.5] × mean.
+	MeanDurationSec float64
+	// DegradeFactor scales a degraded node's links (0 < f < 1).
+	DegradeFactor float64
+	// SlowDiskFactor scales a straggler's disk (0 < f < 1).
+	SlowDiskFactor float64
+	// PartitionFraction is the share of nodes isolated by a partition.
+	PartitionFraction float64
+}
+
+// DefaultProfile is a moderate mixed-fault profile: one of everything.
+func DefaultProfile() Profile {
+	return Profile{
+		Partitions:        1,
+		LinkDegrades:      1,
+		ExecutorCrashes:   1,
+		NodeFlaps:         1,
+		SlowDisks:         1,
+		FlakyDataNodes:    1,
+		StaleWindows:      1,
+		MeanDurationSec:   10,
+		DegradeFactor:     0.1,
+		SlowDiskFactor:    0.2,
+		PartitionFraction: 0.25,
+	}
+}
+
+// Scale multiplies every fault count by f (rounding half up), keeping the
+// shape parameters. Scale(0) yields a fault-free profile.
+func (p Profile) Scale(f float64) Profile {
+	scale := func(n int) int { return int(float64(n)*f + 0.5) }
+	p.Partitions = scale(p.Partitions)
+	p.LinkDegrades = scale(p.LinkDegrades)
+	p.ExecutorCrashes = scale(p.ExecutorCrashes)
+	p.NodeFlaps = scale(p.NodeFlaps)
+	p.SlowDisks = scale(p.SlowDisks)
+	p.FlakyDataNodes = scale(p.FlakyDataNodes)
+	p.StaleWindows = scale(p.StaleWindows)
+	return p
+}
+
+// total is the number of faults a plan from this profile contains.
+func (p Profile) total() int {
+	return p.Partitions + p.LinkDegrades + p.ExecutorCrashes + p.NodeFlaps +
+		p.SlowDisks + p.FlakyDataNodes + p.StaleWindows
+}
+
+// Plan draws a deterministic fault schedule from the profile. Application
+// times fall in [0.05, 0.6] × horizon so windows open while the workload is
+// active and close before it drains. Kinds are drawn in canonical order and
+// the result is sorted by (At, kind, Node, Exec), so the schedule depends
+// only on the profile, the shape arguments, and the rng stream.
+func Plan(p Profile, horizon float64, nodes, execs int, rng *xrand.Rand) []Fault {
+	if p.MeanDurationSec <= 0 {
+		p.MeanDurationSec = 10
+	}
+	if p.DegradeFactor <= 0 || p.DegradeFactor >= 1 {
+		p.DegradeFactor = 0.1
+	}
+	if p.SlowDiskFactor <= 0 || p.SlowDiskFactor >= 1 {
+		p.SlowDiskFactor = 0.2
+	}
+	if p.PartitionFraction <= 0 || p.PartitionFraction >= 1 {
+		p.PartitionFraction = 0.25
+	}
+	faults := make([]Fault, 0, p.total())
+	at := func() float64 { return rng.Range(0.05*horizon, 0.6*horizon) }
+	dur := func() float64 { return p.MeanDurationSec * rng.Range(0.5, 1.5) }
+	count := func(k Kind) int {
+		switch k {
+		case Partition:
+			return p.Partitions
+		case LinkDegrade:
+			return p.LinkDegrades
+		case ExecutorCrash:
+			return p.ExecutorCrashes
+		case NodeFlap:
+			return p.NodeFlaps
+		case SlowDisk:
+			return p.SlowDisks
+		case FlakyDataNode:
+			return p.FlakyDataNodes
+		case StaleMetadata:
+			return p.StaleWindows
+		}
+		return 0
+	}
+	for _, k := range Kinds() {
+		for i := 0; i < count(k); i++ {
+			f := Fault{Kind: k, At: at(), Duration: dur(), Node: -1, Exec: -1}
+			switch k {
+			case Partition:
+				f.Groups = partitionGroups(nodes, p.PartitionFraction, rng)
+			case LinkDegrade:
+				f.Node = rng.Intn(nodes)
+				f.Factor = p.DegradeFactor
+			case ExecutorCrash:
+				f.Exec = rng.Intn(execs)
+			case NodeFlap:
+				f.Node = rng.Intn(nodes)
+			case SlowDisk:
+				f.Node = rng.Intn(nodes)
+				f.Factor = p.SlowDiskFactor
+			case FlakyDataNode:
+				f.Node = rng.Intn(nodes)
+			case StaleMetadata:
+				// No target: the whole NameNode goes stale.
+			}
+			faults = append(faults, f)
+		}
+	}
+	sort.Slice(faults, func(i, j int) bool {
+		a, b := faults[i], faults[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if ra, rb := kindRank(a.Kind), kindRank(b.Kind); ra != rb {
+			return ra < rb
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Exec < b.Exec
+	})
+	return faults
+}
+
+// partitionGroups cuts a random subset of nodes (at least one, at most
+// nodes-1) into group 1, the rest staying in group 0.
+func partitionGroups(nodes int, fraction float64, rng *xrand.Rand) []int {
+	cut := int(float64(nodes) * fraction)
+	if cut < 1 {
+		cut = 1
+	}
+	if cut > nodes-1 {
+		cut = nodes - 1
+	}
+	groups := make([]int, nodes)
+	for _, n := range rng.Perm(nodes)[:cut] {
+		groups[n] = 1
+	}
+	return groups
+}

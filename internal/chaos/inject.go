@@ -1,0 +1,110 @@
+package chaos
+
+import (
+	"fmt"
+
+	"repro/internal/driver"
+)
+
+// Report summarizes an injected plan after the run.
+type Report struct {
+	Total   int // faults in the plan
+	Applied int // faults that actually changed state
+	Noops   int // faults absorbed by idempotency guards (already-failed targets &c.)
+
+	// AuditRuns counts invariant audits executed; Violations holds every
+	// audit error observed, in event order. A clean chaos run has
+	// len(Violations) == 0.
+	AuditRuns  int
+	Violations []string
+}
+
+// Ok reports whether every audit passed.
+func (r *Report) Ok() bool { return len(r.Violations) == 0 }
+
+// Inject schedules the plan's faults onto the driver's event engine. Each
+// fault is applied at f.At; if the application took effect and the fault has
+// a positive Duration, the matching revert is scheduled Duration seconds
+// later. When audit is true the driver's invariant auditor runs after every
+// application and reversal, and violations accumulate in the report.
+//
+// Call Inject after driver.Start and before driver.Run; the report is
+// complete once Run returns.
+func Inject(d *driver.Driver, faults []Fault, audit bool) *Report {
+	r := &Report{Total: len(faults)}
+	for _, f := range faults {
+		f := f
+		d.Engine().At(f.At, func() {
+			applied := apply(d, f)
+			if applied {
+				r.Applied++
+			} else {
+				r.Noops++
+			}
+			if audit {
+				r.audit(d, f, "apply")
+			}
+			if applied && f.Duration > 0 {
+				d.Engine().Schedule(f.Duration, func() {
+					revert(d, f)
+					if audit {
+						r.audit(d, f, "revert")
+					}
+				})
+			}
+		})
+	}
+	return r
+}
+
+// audit runs the driver's invariant checks and records any violation.
+func (r *Report) audit(d *driver.Driver, f Fault, phase string) {
+	r.AuditRuns++
+	if err := d.Audit(); err != nil {
+		r.Violations = append(r.Violations,
+			fmt.Sprintf("after %s of %s(node=%d exec=%d): %v", phase, f.Kind, f.Node, f.Exec, err))
+	}
+}
+
+// apply performs the fault's state change; false means the idempotency guard
+// absorbed it (e.g. the node was already down).
+func apply(d *driver.Driver, f Fault) bool {
+	switch f.Kind {
+	case Partition:
+		return d.InjectPartition(f.Groups)
+	case LinkDegrade:
+		return d.InjectLinkDegrade(f.Node, f.Factor)
+	case ExecutorCrash:
+		return d.InjectExecutorFail(f.Exec)
+	case NodeFlap:
+		return d.InjectNodeFail(f.Node)
+	case SlowDisk:
+		return d.InjectSlowDisk(f.Node, f.Factor)
+	case FlakyDataNode:
+		return d.InjectDataNodeFlake(f.Node)
+	case StaleMetadata:
+		return d.InjectStaleMetadata()
+	}
+	panic(fmt.Sprintf("chaos: unknown fault kind %q", f.Kind))
+}
+
+// revert undoes a previously applied fault.
+func revert(d *driver.Driver, f Fault) bool {
+	switch f.Kind {
+	case Partition:
+		return d.HealPartition()
+	case LinkDegrade:
+		return d.RestoreLinks(f.Node)
+	case ExecutorCrash:
+		return d.InjectExecutorRecover(f.Exec)
+	case NodeFlap:
+		return d.InjectNodeRecover(f.Node)
+	case SlowDisk:
+		return d.RestoreDisk(f.Node)
+	case FlakyDataNode:
+		return d.RestoreDataNode(f.Node)
+	case StaleMetadata:
+		return d.RestoreMetadata()
+	}
+	panic(fmt.Sprintf("chaos: unknown fault kind %q", f.Kind))
+}

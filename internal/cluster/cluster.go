@@ -224,6 +224,42 @@ func (c *Cluster) RecoverNode(node int) {
 	}
 }
 
+// NodeAlive reports whether any executor on the node is in service. FailNode
+// and FailExecutor keep it in sync; a node with every executor dead counts
+// as down.
+func (c *Cluster) NodeAlive(node int) bool {
+	for _, e := range c.nodes[node].executors {
+		if !e.dead {
+			return true
+		}
+	}
+	return false
+}
+
+// FailExecutor crashes a single executor process without taking down its
+// node — the finer-grained failure mode (an OOM-killed JVM, not a machine
+// loss). Any task on it is the caller's responsibility to re-queue. Returns
+// false if the executor was already dead (no-op).
+func (c *Cluster) FailExecutor(e *Executor) bool {
+	if e.dead {
+		return false
+	}
+	e.running = 0
+	e.owner = NoApp
+	e.dead = true
+	return true
+}
+
+// RecoverExecutor restarts a crashed executor, returning it to the free
+// pool. Returns false if the executor was not dead (no-op).
+func (c *Cluster) RecoverExecutor(e *Executor) bool {
+	if !e.dead {
+		return false
+	}
+	e.dead = false
+	return true
+}
+
 // Release returns an executor to the free pool. The executor must be idle.
 func (c *Cluster) Release(e *Executor) error {
 	if e.owner == NoApp {
@@ -330,6 +366,9 @@ func (c *Cluster) Validate() error {
 		}
 		if e.owner == NoApp && e.running > 0 {
 			return fmt.Errorf("executor %d free but running tasks", e.ID)
+		}
+		if e.dead && (e.owner != NoApp || e.running > 0) {
+			return fmt.Errorf("executor %d dead but owner=%d running=%d", e.ID, e.owner, e.running)
 		}
 	}
 	return nil

@@ -1,0 +1,45 @@
+// Locality fallback for stale or partially wrong replica metadata.
+package core
+
+import "sort"
+
+// FallbackNodes degrades a block's preferred-node list gracefully when some
+// of its advertised replica holders are unusable (dead, suspended, or
+// blacklisted):
+//
+//  1. the usable subset of the advertised replica nodes (node-local reads);
+//  2. failing that, every usable node sharing a rack with an advertised
+//     replica (rack-local reads — the copy crosses only the ToR switch);
+//  3. failing that, nil — the caller should treat the task as
+//     location-free and place it anywhere.
+//
+// locs may contain stale entries; usable decides, rackOf maps node → rack,
+// and nodes is the cluster size. The result is sorted and duplicate-free.
+func FallbackNodes(locs []int, usable func(int) bool, rackOf func(int) int, nodes int) []int {
+	var local []int
+	seen := map[int]bool{}
+	for _, n := range locs {
+		if n < 0 || n >= nodes || seen[n] {
+			continue
+		}
+		seen[n] = true
+		if usable(n) {
+			local = append(local, n)
+		}
+	}
+	if len(local) > 0 {
+		sort.Ints(local)
+		return local
+	}
+	racks := map[int]bool{}
+	for n := range seen {
+		racks[rackOf(n)] = true
+	}
+	var rackLocal []int
+	for n := 0; n < nodes; n++ {
+		if racks[rackOf(n)] && usable(n) {
+			rackLocal = append(rackLocal, n)
+		}
+	}
+	return rackLocal // ascending by construction; nil when no rack survives
+}

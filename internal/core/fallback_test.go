@@ -1,0 +1,50 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestFallbackNodes(t *testing.T) {
+	const nodes = 8
+	rackOf := func(n int) int { return n / 4 } // racks: 0-3, 4-7
+	alive := func(dead ...int) func(int) bool {
+		d := map[int]bool{}
+		for _, n := range dead {
+			d[n] = true
+		}
+		return func(n int) bool { return !d[n] }
+	}
+
+	cases := []struct {
+		name   string
+		locs   []int
+		usable func(int) bool
+		want   []int
+	}{
+		{"all replicas usable", []int{5, 1, 3}, alive(), []int{1, 3, 5}},
+		{"one replica dead", []int{5, 1, 3}, alive(1), []int{3, 5}},
+		{"duplicates collapse", []int{1, 1, 5}, alive(), []int{1, 5}},
+		{"all dead, rack fallback", []int{1, 2}, alive(1, 2), []int{0, 3}},
+		{"rack fallback spans both racks", []int{1, 5}, alive(1, 5), []int{0, 2, 3, 4, 6, 7}},
+		{"whole rack dead, any", []int{1, 2}, alive(0, 1, 2, 3), nil},
+		{"no locations", nil, alive(), nil},
+		{"out of range ignored", []int{-1, 99, 2}, alive(), []int{2}},
+	}
+	for _, tc := range cases {
+		got := FallbackNodes(tc.locs, tc.usable, rackOf, nodes)
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%s: FallbackNodes = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestFallbackNodesDeterministic(t *testing.T) {
+	rackOf := func(n int) int { return n % 3 }
+	usable := func(n int) bool { return n%2 == 0 }
+	a := FallbackNodes([]int{9, 3, 7, 1}, usable, rackOf, 12)
+	b := FallbackNodes([]int{1, 7, 3, 9}, usable, rackOf, 12)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("order-sensitive result: %v vs %v", a, b)
+	}
+}

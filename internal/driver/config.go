@@ -89,6 +89,34 @@ type Config struct {
 	StragglerProb   float64
 	StragglerFactor float64
 
+	// Resilience knobs (chaos layer). All default to zero, which reproduces
+	// the pre-resilience behavior exactly: immediate re-queue, no backoff,
+	// no blacklisting, instant connect failure. EnableResilience sets
+	// Spark-like values.
+
+	// MaxTaskRetries caps the exponential-backoff growth of retry delays:
+	// the delay is RetryBackoffSec × 2^min(failures−1, MaxTaskRetries).
+	// Retries beyond the cap continue at the maximum delay — abandoning a
+	// task would break the simulator's jobs-complete contract; runaway
+	// retries surface in the TaskRetries metric instead.
+	MaxTaskRetries int
+	// RetryBackoffSec is the base delay before re-queuing a failed task
+	// attempt. Zero re-queues immediately.
+	RetryBackoffSec float64
+	// BlacklistThreshold excludes a node from scheduling after this many
+	// task failures within BlacklistWindowSec (Spark excludeOnFailure).
+	// Zero disables blacklisting.
+	BlacklistThreshold int
+	// BlacklistWindowSec is both the sliding window for counting failures
+	// and the duration of the exclusion.
+	BlacklistWindowSec float64
+	// ConnectTimeoutSec is charged when a task attempt tries to read from
+	// an unreachable replica source before the attempt fails.
+	ConnectTimeoutSec float64
+	// PartitionBps is the leak capacity of a network partition's choke
+	// (InjectPartition). Zero picks a 1 Mbps trickle.
+	PartitionBps float64
+
 	// Tracer receives timeline events (nil → discarded).
 	Tracer trace.Tracer
 
@@ -125,6 +153,17 @@ func DefaultConfig() Config {
 		SpeculationMultiplier: 1.5,
 		SpeculationQuantile:   0.5,
 	}
+}
+
+// EnableResilience turns on the chaos-hardening defaults: bounded retry
+// backoff, failure blacklisting, and connect timeouts. Chaos experiments and
+// tests call this; the plain paper reproduction leaves everything off.
+func (c *Config) EnableResilience() {
+	c.MaxTaskRetries = 4
+	c.RetryBackoffSec = 0.5
+	c.BlacklistThreshold = 3
+	c.BlacklistWindowSec = 30
+	c.ConnectTimeoutSec = 1
 }
 
 // Validate reports configuration errors.

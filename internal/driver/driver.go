@@ -37,6 +37,28 @@ type Driver struct {
 	wake      *sim.Timer
 	started   bool
 	inManager bool // re-entrancy guard for manager callbacks
+
+	// Chaos/resilience state. All maps stay empty (and cost nothing) until
+	// faults are injected or resilience knobs are enabled.
+	failedNodes map[int]bool               // nodes taken down via InjectNodeFail
+	degraded    map[int]bool               // nodes with degraded links
+	slowDisks   map[int]bool               // nodes with a slowed disk
+	taskFails   map[*app.Task]int          // failures per task (backoff exponent)
+	backoff     map[*app.Task]*sim.Timer   // tasks waiting out a retry delay
+	badSrc      map[*app.Task]map[int]bool // replica sources this task failed against
+	failTimes   map[int][]float64          // node → recent task-failure times
+	blacklist   map[int]float64            // node → excluded-until time
+	recovering  map[*app.Task]float64      // fault-interrupted task → fault time
+	repl        []*replFlow                // tracked re-replication transfers
+	replBase    map[hdfs.BlockID]int       // registered replicas at first audit, minus commits
+	replDone    map[hdfs.BlockID]int       // committed re-replications per block
+}
+
+// replFlow tracks one in-flight re-replication transfer; on completion the
+// new replica is committed with the NameNode.
+type replFlow struct {
+	cp   hdfs.ReplicaCopy
+	flow *netsim.Flow
 }
 
 // attempt is one in-flight execution of a task (original or speculative).
@@ -93,11 +115,26 @@ func New(cfg Config) *Driver {
 		running:   map[*app.Task][]*attempt{},
 		execReady: map[int]float64{},
 		prevOwner: map[int]cluster.AppID{},
+
+		failedNodes: map[int]bool{},
+		degraded:    map[int]bool{},
+		slowDisks:   map[int]bool{},
+		taskFails:   map[*app.Task]int{},
+		backoff:     map[*app.Task]*sim.Timer{},
+		badSrc:      map[*app.Task]map[int]bool{},
+		failTimes:   map[int][]float64{},
+		blacklist:   map[int]float64{},
+		recovering:  map[*app.Task]float64{},
+		replBase:    map[hdfs.BlockID]int{},
+		replDone:    map[hdfs.BlockID]int{},
 	}
 }
 
 // Engine exposes the event engine (examples and tests).
 func (d *Driver) Engine() *sim.Engine { return d.eng }
+
+// Fabric exposes the network fabric (chaos injection and tests).
+func (d *Driver) Fabric() *netsim.Fabric { return d.fabric }
 
 // Collector returns the metrics collector.
 func (d *Driver) Collector() *metrics.Collector { return d.col }
@@ -207,6 +244,9 @@ func (d *Driver) dispatch() {
 				}
 				if d.execReady[e.ID] > now {
 					continue // still starting up
+				}
+				if d.nodeExcluded(e.Node.ID, now) {
+					continue // blacklisted after repeated failures
 				}
 				t := sched.Offer(e, now)
 				if t == nil {

@@ -18,6 +18,10 @@ func (d *Driver) launch(t *app.Task, e *cluster.Executor, spec bool) {
 	}
 	at := &attempt{task: t, exec: e, spec: spec, launched: now}
 	d.running[t] = append(d.running[t], at)
+	if faultAt, ok := d.recovering[t]; ok {
+		d.col.RecoverySec = append(d.col.RecoverySec, now-faultAt)
+		delete(d.recovering, t)
+	}
 	if !spec {
 		t.State = app.TaskRunning
 		t.LaunchedAt = now
@@ -32,12 +36,35 @@ func (d *Driver) launch(t *app.Task, e *cluster.Executor, spec bool) {
 	if t.IsInput() {
 		d.nn.RecordAccess(t.Block)
 		locs := d.nn.Locations(t.Block)
+		// Drop replica sources this task already failed against (stale
+		// metadata or flaky DataNodes); the retry tries the next one.
+		if bad := d.badSrc[t]; len(bad) > 0 {
+			kept := locs[:0]
+			for _, n := range locs {
+				if !bad[n] {
+					kept = append(kept, n)
+				}
+			}
+			locs = kept
+		}
 		local := false
 		for _, n := range locs {
 			if n == node {
 				local = true
 				break
 			}
+		}
+		if local && !d.sourceReadable(node) {
+			// The local DataNode is flaking (stale metadata still lists
+			// it); read a surviving replica remotely instead.
+			local = false
+			kept := locs[:0]
+			for _, n := range locs {
+				if n != node {
+					kept = append(kept, n)
+				}
+			}
+			locs = kept
 		}
 		if !spec {
 			t.RanLocal = local
@@ -46,11 +73,16 @@ func (d *Driver) launch(t *app.Task, e *cluster.Executor, spec bool) {
 		at.remaining = 1
 		done := func() { d.readFinished(at) }
 		if local || len(locs) == 0 {
+			// No reachable replica left → regenerate locally (lineage).
 			at.flows = append(at.flows, d.fabric.LocalRead(node, bytes, done))
-		} else {
-			src := d.pickReplica(locs, node)
-			at.flows = append(at.flows, d.fabric.RemoteReadCap(src, node, bytes, d.cfg.RemoteReadCapBps, done))
+			return
 		}
+		src := d.pickReplica(locs, node)
+		if !d.sourceReadable(src) {
+			d.failConnect(at, src)
+			return
+		}
+		at.flows = append(at.flows, d.fabric.RemoteReadCap(src, node, bytes, d.cfg.RemoteReadCapBps, done))
 		return
 	}
 	d.startShuffleFetch(at)
@@ -63,11 +95,19 @@ func (d *Driver) startShuffleFetch(at *attempt) {
 	t := at.task
 	dst := at.exec.Node.ID
 
-	// Volume produced per source node across all parent stages.
+	// Volume produced per source node across all parent stages. Output on
+	// nodes that have since failed is gone (no external shuffle service
+	// survives a machine loss); it is regenerated locally instead — the
+	// stand-in for recomputing the parent partitions from lineage.
 	perNode := map[int]float64{}
+	regen := 0.0
 	for _, p := range t.Stage.Parents {
 		for _, pt := range p.Tasks {
 			if pt.OutputBytes > 0 && pt.RanOnNode >= 0 {
+				if d.failedNodes[pt.RanOnNode] {
+					regen += float64(pt.OutputBytes)
+					continue
+				}
 				perNode[pt.RanOnNode] += float64(pt.OutputBytes)
 			}
 		}
@@ -83,7 +123,7 @@ func (d *Driver) startShuffleFetch(at *attempt) {
 		total += b
 	}
 	sort.Ints(nodes)
-	if total == 0 {
+	if total == 0 && regen == 0 {
 		// Nothing to fetch: fall through to compute directly.
 		at.remaining = 1
 		d.readFinished(at)
@@ -114,6 +154,12 @@ func (d *Driver) startShuffleFetch(at *attempt) {
 	}
 
 	at.remaining = groups
+	if regen > 0 {
+		at.remaining++
+		at.flows = append(at.flows, d.fabric.LocalRead(dst, regen/float64(width), func() {
+			d.readFinished(at)
+		}))
+	}
 	for g := 0; g < groups; g++ {
 		share := groupBytes[g] / float64(width)
 		at.flows = append(at.flows, d.fabric.Transfer(groupSrc[g], dst, share, func() {
@@ -177,6 +223,8 @@ func (d *Driver) attemptFinished(at *attempt) {
 		d.killAttempt(other)
 	}
 	delete(d.running, t)
+	delete(d.taskFails, t)
+	delete(d.badSrc, t)
 
 	t.RanOnNode = e.Node.ID
 	if !t.IsInput() {
@@ -322,7 +370,7 @@ func (d *Driver) maybeSpeculate(s *app.Stage) {
 		// task's block).
 		var pick *cluster.Executor
 		for _, e := range d.cl.Owned(t.Job.App.ID) {
-			if e.FreeSlots() <= 0 || d.execReady[e.ID] > now {
+			if e.FreeSlots() <= 0 || d.execReady[e.ID] > now || d.nodeExcluded(e.Node.ID, now) {
 				continue
 			}
 			if t.IsInput() && d.localTo(t, e.Node.ID) {

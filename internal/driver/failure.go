@@ -2,51 +2,96 @@ package driver
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/app"
-	"repro/internal/cluster"
 	"repro/internal/trace"
 )
 
 // FailNodeAt schedules a whole-node failure at simulated time t: the node's
 // executors die, tasks running on them are re-queued with their owning
 // applications, the NameNode decommissions the DataNode, and re-replication
-// traffic is charged to the network fabric (copies stream from surviving
-// replicas). Blocks whose replicas all die become preference-free: tasks
-// reading them regenerate input locally, a stand-in for recomputing lost
-// partitions from lineage.
+// streams from surviving replicas as tracked flows that re-register the new
+// replica on completion. Blocks whose replicas all die become
+// preference-free: tasks reading them regenerate input locally, a stand-in
+// for recomputing lost partitions from lineage.
 func (d *Driver) FailNodeAt(t float64, node int) {
-	d.eng.At(t, func() { d.failNode(node) })
+	d.eng.At(t, func() { d.InjectNodeFail(node) })
 }
 
 // RecoverNodeAt schedules the node's return to service: its executors
 // become allocatable again and its stored replicas become visible.
 func (d *Driver) RecoverNodeAt(t float64, node int) {
-	d.eng.At(t, func() {
-		d.cl.RecoverNode(node)
-		d.nn.Recommission(node)
-		d.tr.Emit(trace.Event{Time: d.eng.Now(), Kind: trace.NodeRecover, App: -1, Job: -1, Stage: -1, Task: -1, Exec: -1, Node: node})
-		d.dispatch()
-	})
+	d.eng.At(t, func() { d.InjectNodeRecover(node) })
+}
+
+// InjectNodeFail takes a node out of service now. Idempotent: failing an
+// already-failed node is a traced no-op returning false.
+func (d *Driver) InjectNodeFail(node int) bool {
+	if d.failedNodes[node] {
+		d.faultNoop(node, -1)
+		return false
+	}
+	d.failedNodes[node] = true
+	d.failNode(node)
+	return true
+}
+
+// InjectNodeRecover brings a failed node back now. Idempotent: recovering a
+// healthy node is a traced no-op returning false.
+func (d *Driver) InjectNodeRecover(node int) bool {
+	if !d.failedNodes[node] {
+		d.faultNoop(node, -1)
+		return false
+	}
+	delete(d.failedNodes, node)
+	d.cl.RecoverNode(node)
+	d.nn.Recommission(node)
+	d.tr.Emit(trace.Event{Time: d.eng.Now(), Kind: trace.NodeRecover, App: -1, Job: -1, Stage: -1, Task: -1, Exec: -1, Node: node})
+	d.dispatch()
+	return true
+}
+
+// faultNoop records an ignored fault injection (double-fail, recover of a
+// healthy target, and similar).
+func (d *Driver) faultNoop(node, exec int) {
+	d.tr.Emit(trace.Event{Time: d.eng.Now(), Kind: trace.FaultNoop, App: -1, Job: -1, Stage: -1, Task: -1, Exec: exec, Node: node})
+}
+
+// runningTasksSorted returns the tasks with tracked attempts in
+// deterministic order — required before any fault handling that creates
+// flows or consumes randomness per task.
+func (d *Driver) runningTasksSorted() []*app.Task {
+	tasks := make([]*app.Task, 0, len(d.running))
+	for t := range d.running {
+		tasks = append(tasks, t)
+	}
+	sortTasks(tasks)
+	return tasks
 }
 
 func (d *Driver) failNode(node int) {
 	now := d.eng.Now()
 	d.tr.Emit(trace.Event{Time: now, Kind: trace.NodeFail, App: -1, Job: -1, Stage: -1, Task: -1, Exec: -1, Node: node})
 
-	// 1. Kill attempts running on the node and collect their tasks.
+	// 1. Kill attempts running on the node; collect their tasks. Attempts on
+	// other nodes with in-flight fetches *from* this node are redirected to
+	// local regeneration (their data source just vanished). Deterministic
+	// task order: replacement flows acquire IDs in a fixed sequence.
 	var requeue []*app.Task
-	for task, attempts := range d.running {
-		alive := attempts[:0]
-		for _, at := range attempts {
+	for _, task := range d.runningTasksSorted() {
+		live := 0
+		for _, at := range d.running[task] {
 			if at.dead {
 				continue
 			}
 			if at.exec.Node.ID != node {
-				alive = append(alive, at)
+				live++
+				d.redirectFlows(at, node)
 				continue
 			}
 			at.dead = true
+			d.col.AttemptFailures++
 			for _, f := range at.flows {
 				d.fabric.Cancel(f)
 			}
@@ -56,51 +101,91 @@ func (d *Driver) failNode(node int) {
 			// The executor's slot accounting is reset by FailNode below;
 			// do not FinishTask on a dying executor.
 		}
-		if len(alive) == 0 && task.State == app.TaskRunning {
+		if live == 0 && task.State == app.TaskRunning {
 			requeue = append(requeue, task)
 			delete(d.running, task)
-		} else {
-			d.running[task] = alive
+			d.recovering[task] = now
 		}
 	}
 
 	// 2. Take the executors out of service.
 	d.cl.FailNode(node)
 
-	// 3. Decommission the DataNode; charge re-replication to the fabric.
+	// 3. Abort re-replication transfers touching the dead node.
+	d.abortReplTouching(node)
+
+	// 4. Decommission the DataNode; stream each planned copy as a tracked
+	// flow that commits the new replica with the NameNode on completion. A
+	// Decommission error is surfaced as a replication stall, not dropped.
 	copies, err := d.nn.Decommission(node)
-	if err == nil {
-		for _, cp := range copies {
-			d.fabric.Transfer(cp.From, cp.To, float64(cp.Size), nil)
-		}
+	if err != nil {
+		d.col.ReplicationStalls++
+		d.tr.Emit(trace.Event{Time: now, Kind: trace.ReplicationStall, App: -1, Job: -1, Stage: -1, Task: -1, Exec: -1, Node: node})
+	}
+	for _, cp := range copies {
+		rf := &replFlow{cp: cp}
+		rf.flow = d.fabric.Transfer(cp.From, cp.To, float64(cp.Size), func() { d.replicaRestored(rf) })
+		d.repl = append(d.repl, rf)
 	}
 
-	// 4. Re-queue interrupted tasks (deterministic order: by job, index).
-	sortTasks(requeue)
-	byApp := map[cluster.AppID][]*app.Task{}
-	for _, t := range requeue {
-		t.State = app.TaskReady
-		t.ReadyAt = now
-		t.RanOnNode = -1
-		t.RanLocal = false
-		byApp[t.Job.App.ID] = append(byApp[t.Job.App.ID], t)
-	}
-	for _, a := range d.apps {
-		if ts := byApp[a.ID]; len(ts) > 0 {
-			d.scheds[a.ID].Submit(ts, now)
-		}
-	}
+	// 5. Re-queue interrupted tasks with retry/backoff accounting.
+	d.requeueFailed(requeue)
 	d.managerCall(func() { d.cfg.Manager.OnNodeFail(d, node) })
 	d.dispatch()
 }
 
-// sortTasks orders tasks deterministically (app, job, stage, index).
-func sortTasks(ts []*app.Task) {
-	for i := 1; i < len(ts); i++ {
-		for j := i; j > 0 && taskLess(ts[j], ts[j-1]); j-- {
-			ts[j], ts[j-1] = ts[j-1], ts[j]
+// redirectFlows replaces an attempt's in-flight fetches sourced at a dead
+// node with local regeneration of the remaining bytes (lineage recompute).
+func (d *Driver) redirectFlows(at *attempt, node int) {
+	for i, f := range at.flows {
+		if f.Done() || f.Src() != node {
+			continue
+		}
+		rem := f.Remaining()
+		d.fabric.Cancel(f)
+		at.flows[i] = d.fabric.LocalRead(at.exec.Node.ID, rem, func() { d.readFinished(at) })
+	}
+}
+
+// abortReplTouching cancels in-flight re-replication transfers whose source
+// or target is the dead node and withdraws their pending registrations.
+func (d *Driver) abortReplTouching(node int) {
+	kept := d.repl[:0]
+	for _, rf := range d.repl {
+		if rf.cp.From != node && rf.cp.To != node {
+			kept = append(kept, rf)
+			continue
+		}
+		d.fabric.Cancel(rf.flow)
+		d.nn.AbortReplica(rf.cp.Block, rf.cp.To)
+		d.col.ReplicationStalls++
+		d.tr.Emit(trace.Event{Time: d.eng.Now(), Kind: trace.ReplicationStall, App: -1, Job: -1, Stage: -1, Task: -1, Exec: -1, Node: node})
+	}
+	d.repl = kept
+}
+
+// replicaRestored completes one tracked re-replication: the transfer's bytes
+// have arrived, so the replica becomes readable.
+func (d *Driver) replicaRestored(rf *replFlow) {
+	for i, r := range d.repl {
+		if r == rf {
+			d.repl = append(d.repl[:i], d.repl[i+1:]...)
+			break
 		}
 	}
+	if err := d.nn.CommitReplica(rf.cp.Block, rf.cp.To); err != nil {
+		d.col.ReplicationStalls++
+		d.tr.Emit(trace.Event{Time: d.eng.Now(), Kind: trace.ReplicationStall, App: -1, Job: -1, Stage: -1, Task: -1, Exec: -1, Node: rf.cp.To})
+		return
+	}
+	d.replDone[rf.cp.Block]++
+	d.col.ReplicasRestored++
+	d.tr.Emit(trace.Event{Time: d.eng.Now(), Kind: trace.ReplicaRestored, App: -1, Job: -1, Stage: -1, Task: -1, Exec: -1, Node: rf.cp.To})
+}
+
+// sortTasks orders tasks deterministically (app, job, stage, index).
+func sortTasks(ts []*app.Task) {
+	sort.Slice(ts, func(i, j int) bool { return taskLess(ts[i], ts[j]) })
 }
 
 func taskLess(a, b *app.Task) bool {

@@ -1,0 +1,151 @@
+package driver
+
+import (
+	"math"
+
+	"repro/internal/app"
+	"repro/internal/cluster"
+	"repro/internal/trace"
+)
+
+// retryDelay returns the backoff before the fails-th retry of a task:
+// RetryBackoffSec × 2^min(fails−1, MaxTaskRetries). Zero when backoff is
+// disabled — the pre-resilience immediate re-queue.
+func (d *Driver) retryDelay(fails int) float64 {
+	base := d.cfg.RetryBackoffSec
+	if base <= 0 || fails <= 0 {
+		return 0
+	}
+	exp := fails - 1
+	if d.cfg.MaxTaskRetries > 0 && exp > d.cfg.MaxTaskRetries {
+		exp = d.cfg.MaxTaskRetries
+	}
+	return base * math.Pow(2, float64(exp))
+}
+
+// requeueFailed re-queues tasks whose attempts were killed by a fault,
+// applying retry accounting and exponential backoff. Tasks are processed in
+// deterministic order; with backoff disabled they re-enter their schedulers
+// immediately, exactly as the pre-resilience driver did.
+func (d *Driver) requeueFailed(ts []*app.Task) {
+	now := d.eng.Now()
+	sortTasks(ts)
+	immediate := map[cluster.AppID][]*app.Task{}
+	for _, t := range ts {
+		t.State = app.TaskReady
+		t.ReadyAt = now
+		t.RanOnNode = -1
+		t.RanLocal = false
+		d.taskFails[t]++
+		d.col.TaskRetries++
+		d.tr.Emit(trace.Event{Time: now, Kind: trace.TaskRetry, App: int(t.Job.App.ID),
+			Job: t.Job.ID, Stage: t.Stage.ID, Task: t.Index, Exec: -1, Node: -1})
+		delay := d.retryDelay(d.taskFails[t])
+		if delay <= 0 {
+			immediate[t.Job.App.ID] = append(immediate[t.Job.App.ID], t)
+			continue
+		}
+		t := t
+		d.backoff[t] = d.eng.Schedule(delay, func() {
+			delete(d.backoff, t)
+			t.ReadyAt = d.eng.Now()
+			d.scheds[t.Job.App.ID].Submit([]*app.Task{t}, d.eng.Now())
+			d.dispatch()
+		})
+	}
+	for _, a := range d.apps {
+		if ts := immediate[a.ID]; len(ts) > 0 {
+			d.scheds[a.ID].Submit(ts, now)
+		}
+	}
+}
+
+// recordNodeFailure feeds the per-node failure blacklist (Spark
+// excludeOnFailure-style): BlacklistThreshold failures within
+// BlacklistWindowSec exclude the node from scheduling for the window.
+func (d *Driver) recordNodeFailure(node int) {
+	if d.cfg.BlacklistThreshold <= 0 {
+		return
+	}
+	now := d.eng.Now()
+	recent := d.failTimes[node][:0]
+	for _, ts := range d.failTimes[node] {
+		if now-ts <= d.cfg.BlacklistWindowSec {
+			recent = append(recent, ts)
+		}
+	}
+	recent = append(recent, now)
+	d.failTimes[node] = recent
+	if len(recent) < d.cfg.BlacklistThreshold {
+		return
+	}
+	if until, ok := d.blacklist[node]; ok && until > now {
+		return // already excluded
+	}
+	until := now + d.cfg.BlacklistWindowSec
+	d.blacklist[node] = until
+	d.failTimes[node] = d.failTimes[node][:0]
+	d.col.BlacklistEvents++
+	d.tr.Emit(trace.Event{Time: now, Kind: trace.NodeBlacklist, App: -1, Job: -1, Stage: -1, Task: -1, Exec: -1, Node: node})
+	// Without this wake-up, a cluster whose every schedulable node is
+	// excluded would deadlock: nothing else re-triggers dispatch.
+	d.eng.At(until, func() { d.dispatch() })
+}
+
+// nodeExcluded reports whether the node is currently blacklisted.
+func (d *Driver) nodeExcluded(node int, now float64) bool {
+	if len(d.blacklist) == 0 {
+		return false
+	}
+	return d.blacklist[node] > now
+}
+
+// liveAttempts counts the non-dead attempts of a task.
+func (d *Driver) liveAttempts(t *app.Task) int {
+	n := 0
+	for _, at := range d.running[t] {
+		if !at.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// sourceReadable reports whether a node can serve block reads right now.
+func (d *Driver) sourceReadable(n int) bool {
+	return !d.failedNodes[n] && d.nn.DataNode(n).Alive()
+}
+
+// failConnect charges the connect timeout against an attempt whose chosen
+// replica source is unreachable, then fails the attempt.
+func (d *Driver) failConnect(at *attempt, src int) {
+	at.remaining = 1
+	at.timer = d.eng.Schedule(d.cfg.ConnectTimeoutSec, func() { d.connectTimedOut(at, src) })
+}
+
+// connectTimedOut fails an attempt that could not reach its replica source:
+// the source is remembered as bad for this task (so the retry tries another
+// replica, falling back to local regeneration when none are left), the
+// node's failure count feeds the blacklist, and the task re-queues with
+// backoff.
+func (d *Driver) connectTimedOut(at *attempt, src int) {
+	if at.dead {
+		return
+	}
+	at.dead = true
+	t := at.task
+	d.col.AttemptFailures++
+	if d.badSrc[t] == nil {
+		d.badSrc[t] = map[int]bool{}
+	}
+	d.badSrc[t][src] = true
+	d.recordNodeFailure(src)
+	if err := d.cl.FinishTask(at.exec); err != nil {
+		panic(err)
+	}
+	if d.liveAttempts(t) == 0 && t.State == app.TaskRunning {
+		delete(d.running, t)
+		d.requeueFailed([]*app.Task{t})
+	}
+	d.afterSlotFreed(at.exec)
+}

@@ -146,6 +146,12 @@ func merge(dst, src *metrics.Collector) {
 	dst.OfferRejections += src.OfferRejections
 	dst.Reallocations += src.Reallocations
 	dst.ExecutorMigrations += src.ExecutorMigrations
+	dst.TaskRetries += src.TaskRetries
+	dst.AttemptFailures += src.AttemptFailures
+	dst.BlacklistEvents += src.BlacklistEvents
+	dst.ReplicationStalls += src.ReplicationStalls
+	dst.ReplicasRestored += src.ReplicasRestored
+	dst.RecoverySec = append(dst.RecoverySec, src.RecoverySec...)
 }
 
 func rackSize(nodes int) int {

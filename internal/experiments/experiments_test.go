@@ -434,3 +434,33 @@ func TestRunHintsQuick(t *testing.T) {
 	}
 	_ = res.Render()
 }
+
+func TestRunChaosQuick(t *testing.T) {
+	if race.Enabled {
+		t.Skip("the chaos sweep runs 8 full sims; the dedicated -race smoke in internal/chaos covers the fault paths")
+	}
+	res, err := RunChaos(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(ChaosLevels) * 2; len(res.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), want)
+	}
+	for _, r := range res.Rows {
+		if r.Violations != 0 {
+			t.Errorf("%s/%s: %d invariant violations", r.Level, r.Manager, r.Violations)
+		}
+		if r.JobsDone != r.JobsTotal {
+			t.Errorf("%s/%s: %d of %d jobs completed", r.Level, r.Manager, r.JobsDone, r.JobsTotal)
+		}
+		if r.Level == "none" && r.Faults != 0 {
+			t.Errorf("control row applied %d faults", r.Faults)
+		}
+		if r.Level == "high" && r.Faults == 0 {
+			t.Errorf("high level applied no faults")
+		}
+	}
+	if !strings.Contains(res.Render(), "chaos sweep") {
+		t.Fatal("render missing header")
+	}
+}

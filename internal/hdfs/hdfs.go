@@ -46,11 +46,12 @@ type File struct {
 
 // DataNode tracks the blocks stored on one worker node.
 type DataNode struct {
-	Node     int
-	Capacity int64 // bytes; 0 means unlimited
-	Used     int64
-	blocks   map[BlockID]struct{}
-	alive    bool
+	Node      int
+	Capacity  int64 // bytes; 0 means unlimited
+	Used      int64
+	blocks    map[BlockID]struct{}
+	alive     bool
+	suspended bool // flaky: process up, refusing reads; heartbeats missed
 }
 
 // Holds reports whether the DataNode stores the block.
@@ -62,14 +63,19 @@ func (d *DataNode) Holds(b BlockID) bool {
 // BlockCount returns the number of block replicas stored on the DataNode.
 func (d *DataNode) BlockCount() int { return len(d.blocks) }
 
-// Alive reports whether the DataNode is in service.
-func (d *DataNode) Alive() bool { return d.alive }
+// Alive reports whether the DataNode is in service (up and not suspended).
+func (d *DataNode) Alive() bool { return d.alive && !d.suspended }
+
+// Suspended reports whether the DataNode is flaking (up but not serving).
+func (d *DataNode) Suspended() bool { return d.suspended }
 
 // NameNode is the metadata service: file → blocks and block → replicas.
 type NameNode struct {
 	files     map[string]*File
 	blocks    map[BlockID]*Block
 	locations map[BlockID][]int
+	pending   map[BlockID][]int // re-replication targets in flight, not yet readable
+	stale     map[BlockID][]int // frozen Locations answers; nil when metadata is fresh
 	datanodes []*DataNode
 	racks     []int // node → rack
 	policy    PlacementPolicy
@@ -128,6 +134,7 @@ func NewNameNode(n int, rng *xrand.Rand, opts ...Option) *NameNode {
 		files:       make(map[string]*File),
 		blocks:      make(map[BlockID]*Block),
 		locations:   make(map[BlockID][]int),
+		pending:     make(map[BlockID][]int),
 		racks:       make([]int, n),
 		rng:         rng.Fork("hdfs"),
 		BlockSize:   DefaultBlockSize,
@@ -236,16 +243,78 @@ func (nn *NameNode) Block(id BlockID) (*Block, error) {
 
 // Locations returns the nodes holding live replicas of a block. This is the
 // query Custody issues before allocation (§IV-C). The returned slice is a
-// copy; callers may mutate it.
+// copy; callers may mutate it. During a stale-metadata window (BeginStale)
+// the answer is frozen at the snapshot taken when the window opened, so it
+// may name nodes that have since died or flaked.
 func (nn *NameNode) Locations(id BlockID) []int {
+	if nn.stale != nil {
+		if locs, ok := nn.stale[id]; ok {
+			return append([]int(nil), locs...)
+		}
+		// Blocks created after the snapshot fall through to fresh answers.
+	}
+	return nn.liveLocations(id)
+}
+
+// liveLocations is the always-fresh truth, immune to stale windows.
+func (nn *NameNode) liveLocations(id BlockID) []int {
 	locs := nn.locations[id]
 	out := make([]int, 0, len(locs))
 	for _, node := range locs {
-		if nn.datanodes[node].alive {
+		if d := nn.datanodes[node]; d.alive && !d.suspended {
 			out = append(out, node)
 		}
 	}
 	return out
+}
+
+// BeginStale freezes the metadata clients see: subsequent Locations calls
+// answer from a snapshot taken now, lagging reality until EndStale. Models a
+// NameNode that has not yet processed heartbeat losses/recoveries. Returns
+// false if a stale window is already open.
+func (nn *NameNode) BeginStale() bool {
+	if nn.stale != nil {
+		return false
+	}
+	nn.stale = make(map[BlockID][]int, len(nn.blocks))
+	for id := range nn.blocks {
+		nn.stale[id] = nn.liveLocations(id)
+	}
+	return true
+}
+
+// EndStale restores fresh metadata. Returns false if no window was open.
+func (nn *NameNode) EndStale() bool {
+	if nn.stale == nil {
+		return false
+	}
+	nn.stale = nil
+	return true
+}
+
+// Stale reports whether a stale-metadata window is open.
+func (nn *NameNode) Stale() bool { return nn.stale != nil }
+
+// Suspend marks a DataNode flaky: it stops serving reads and drops out of
+// fresh Locations answers, but keeps its on-disk replicas. Returns false if
+// the node is already suspended or dead (no-op).
+func (nn *NameNode) Suspend(node int) bool {
+	d := nn.datanodes[node]
+	if d.suspended || !d.alive {
+		return false
+	}
+	d.suspended = true
+	return true
+}
+
+// Resume clears a Suspend. Returns false if the node was not suspended.
+func (nn *NameNode) Resume(node int) bool {
+	d := nn.datanodes[node]
+	if !d.suspended {
+		return false
+	}
+	d.suspended = false
+	return true
 }
 
 // RecordAccess notes a read of a block, feeding popularity statistics.
@@ -285,9 +354,13 @@ type ReplicaCopy struct {
 	To    int
 }
 
-// Decommission marks a node dead and re-replicates its blocks elsewhere so
-// every block regains its target replication. It returns the copies made,
-// so callers can charge the re-replication traffic to the network.
+// Decommission marks a node dead and plans re-replication of its blocks so
+// every block regains its target replication. The planned copies are
+// returned as *pending* replicas: the new replica only becomes readable
+// when the caller finishes the transfer and calls CommitReplica (or gives
+// up with AbortReplica). Callers charge the transfer to the network and
+// commit on completion — fire-and-forget registration would let tasks read
+// replicas whose bytes have not arrived yet.
 func (nn *NameNode) Decommission(node int) ([]ReplicaCopy, error) {
 	d := nn.datanodes[node]
 	if !d.alive {
@@ -302,23 +375,79 @@ func (nn *NameNode) Decommission(node int) ([]ReplicaCopy, error) {
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
 		b := nn.blocks[id]
-		live := nn.Locations(id)
-		if len(live) >= nn.Replication || len(live) == 0 {
-			continue // already replicated enough, or no surviving source
+		live := nn.liveLocations(id)
+		if len(live)+len(nn.pending[id]) >= nn.Replication || len(live) == 0 {
+			continue // already replicated (or being re-replicated) enough, or no surviving source
 		}
 		exclude := map[int]bool{}
 		for _, n := range nn.locations[id] {
+			exclude[n] = true
+		}
+		for _, n := range nn.pending[id] {
 			exclude[n] = true
 		}
 		target, err := nn.pickNode(b.Size, exclude)
 		if err != nil {
 			continue // cluster too full or too small; block stays under-replicated
 		}
-		nn.addReplica(b, target)
+		nn.pending[id] = append(nn.pending[id], target)
 		copies = append(copies, ReplicaCopy{Block: id, Size: b.Size, From: live[0], To: target})
 	}
 	return copies, nil
 }
+
+// CommitReplica registers a pending re-replication target as a readable
+// replica: the transfer planned by Decommission has delivered its bytes.
+func (nn *NameNode) CommitReplica(id BlockID, node int) error {
+	if !nn.dropPending(id, node) {
+		return fmt.Errorf("hdfs: no pending replica of block %d on node %d", id, node)
+	}
+	if !nn.datanodes[node].alive {
+		return fmt.Errorf("hdfs: pending replica target node %d died before commit", node)
+	}
+	nn.addReplica(nn.blocks[id], node)
+	return nil
+}
+
+// AbortReplica cancels a pending re-replication target (the transfer was
+// abandoned, e.g. its source or destination died). No-op if not pending.
+func (nn *NameNode) AbortReplica(id BlockID, node int) {
+	nn.dropPending(id, node)
+}
+
+func (nn *NameNode) dropPending(id BlockID, node int) bool {
+	for i, n := range nn.pending[id] {
+		if n == node {
+			nn.pending[id] = append(nn.pending[id][:i], nn.pending[id][i+1:]...)
+			if len(nn.pending[id]) == 0 {
+				delete(nn.pending, id)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// PendingReplicas returns the in-flight re-replication targets for a block
+// (copy; callers may mutate).
+func (nn *NameNode) PendingReplicas(id BlockID) []int {
+	return append([]int(nil), nn.pending[id]...)
+}
+
+// PendingBlockIDs returns the blocks with in-flight re-replications, sorted.
+func (nn *NameNode) PendingBlockIDs() []BlockID {
+	out := make([]BlockID, 0, len(nn.pending))
+	for id := range nn.pending {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RegisteredReplicas returns the number of registered replicas of a block,
+// counting those on dead or suspended nodes (data not lost, just
+// unreachable) but not pending transfers.
+func (nn *NameNode) RegisteredReplicas(id BlockID) int { return len(nn.locations[id]) }
 
 // Recommission brings a node back into service. Its old replicas become
 // visible again.
@@ -331,7 +460,7 @@ func (nn *NameNode) Recommission(node int) {
 func (nn *NameNode) pickNode(size int64, exclude map[int]bool) (int, error) {
 	var candidates []int
 	for _, d := range nn.datanodes {
-		if !d.alive || exclude[d.Node] {
+		if !d.alive || d.suspended || exclude[d.Node] {
 			continue
 		}
 		if d.Capacity > 0 && d.Used+size > d.Capacity {
@@ -345,8 +474,9 @@ func (nn *NameNode) pickNode(size int64, exclude map[int]bool) (int, error) {
 	return candidates[nn.rng.Intn(len(candidates))], nil
 }
 
-// ReplicaCount returns the number of live replicas of a block.
-func (nn *NameNode) ReplicaCount(id BlockID) int { return len(nn.Locations(id)) }
+// ReplicaCount returns the number of live replicas of a block (fresh truth,
+// immune to stale-metadata windows).
+func (nn *NameNode) ReplicaCount(id BlockID) int { return len(nn.liveLocations(id)) }
 
 // Files returns the names of all files, sorted.
 func (nn *NameNode) Files() []string {

@@ -172,9 +172,28 @@ func TestDecommissionReplicates(t *testing.T) {
 		if cp.Size <= 0 {
 			t.Fatalf("copy with no size: %+v", cp)
 		}
-		if !nn.DataNode(cp.To).Holds(cp.Block) {
-			t.Fatalf("copy target missing block: %+v", cp)
+		// Targets are pending until the transfer commits: not yet readable.
+		if nn.DataNode(cp.To).Holds(cp.Block) {
+			t.Fatalf("copy target registered before CommitReplica: %+v", cp)
 		}
+		found := false
+		for _, n := range nn.PendingReplicas(cp.Block) {
+			if n == cp.To {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("copy target not pending: %+v", cp)
+		}
+		if err := nn.CommitReplica(cp.Block, cp.To); err != nil {
+			t.Fatalf("CommitReplica: %v", err)
+		}
+		if !nn.DataNode(cp.To).Holds(cp.Block) {
+			t.Fatalf("copy target missing block after commit: %+v", cp)
+		}
+	}
+	if ids := nn.PendingBlockIDs(); len(ids) != 0 {
+		t.Fatalf("pending blocks remain after all commits: %v", ids)
 	}
 	for _, b := range f.Blocks {
 		locs := nn.Locations(b.ID)
@@ -464,4 +483,102 @@ func TestLeastLoadedSelectorBalances(t *testing.T) {
 			t.Fatalf("least-loaded not balanced: %v", counts)
 		}
 	}
+}
+
+func TestSuspendResume(t *testing.T) {
+	nn := newNN(t, 6, WithBlockSize(100), WithReplication(3))
+	f, _ := nn.Create("a", 100)
+	id := f.Blocks[0].ID
+	victim := nn.Locations(id)[0]
+	if !nn.Suspend(victim) {
+		t.Fatal("Suspend returned false on a healthy node")
+	}
+	if nn.Suspend(victim) {
+		t.Fatal("double Suspend returned true")
+	}
+	if nn.DataNode(victim).Alive() {
+		t.Fatal("suspended node reports Alive")
+	}
+	for _, n := range nn.Locations(id) {
+		if n == victim {
+			t.Fatal("Locations lists a suspended node")
+		}
+	}
+	if !nn.DataNode(victim).Holds(id) {
+		t.Fatal("suspension dropped the replica")
+	}
+	if !nn.Resume(victim) {
+		t.Fatal("Resume returned false on a suspended node")
+	}
+	if nn.Resume(victim) {
+		t.Fatal("Resume of a healthy node returned true")
+	}
+	found := false
+	for _, n := range nn.Locations(id) {
+		if n == victim {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("resumed node missing from Locations")
+	}
+}
+
+func TestStaleMetadataWindow(t *testing.T) {
+	nn := newNN(t, 8, WithBlockSize(100), WithReplication(3))
+	f, _ := nn.Create("a", 100)
+	id := f.Blocks[0].ID
+	before := nn.Locations(id)
+	if !nn.BeginStale() {
+		t.Fatal("BeginStale returned false")
+	}
+	if nn.BeginStale() {
+		t.Fatal("nested BeginStale returned true")
+	}
+	victim := before[0]
+	if _, err := nn.Decommission(victim); err != nil {
+		t.Fatal(err)
+	}
+	stale := nn.Locations(id)
+	if len(stale) != len(before) {
+		t.Fatalf("stale Locations = %v, want frozen %v", stale, before)
+	}
+	if nn.ReplicaCount(id) != len(before)-1 {
+		t.Fatalf("ReplicaCount = %d leaked stale data, want fresh %d", nn.ReplicaCount(id), len(before)-1)
+	}
+	if !nn.EndStale() {
+		t.Fatal("EndStale returned false")
+	}
+	if nn.EndStale() {
+		t.Fatal("EndStale with no window returned true")
+	}
+	for _, n := range nn.Locations(id) {
+		if n == victim {
+			t.Fatal("fresh Locations lists the dead node after EndStale")
+		}
+	}
+}
+
+func TestAbortReplica(t *testing.T) {
+	nn := newNN(t, 6, WithBlockSize(100), WithReplication(3))
+	f, _ := nn.Create("a", 100)
+	id := f.Blocks[0].ID
+	victim := nn.Locations(id)[0]
+	copies, err := nn.Decommission(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(copies) != 1 {
+		t.Fatalf("got %d copies, want 1", len(copies))
+	}
+	cp := copies[0]
+	nn.AbortReplica(cp.Block, cp.To)
+	if err := nn.CommitReplica(cp.Block, cp.To); err == nil {
+		t.Fatal("CommitReplica after Abort succeeded")
+	}
+	if got := len(nn.PendingReplicas(cp.Block)); got != 0 {
+		t.Fatalf("pending after abort = %d, want 0", got)
+	}
+	// A fresh decommission of another replica holder re-plans the copy.
+	nn.AbortReplica(cp.Block, cp.To) // no-op on absent entry
 }

@@ -77,6 +77,19 @@ func (c *Custody) OnNodeFail(env Env, node int) {
 	c.reallocate(env)
 }
 
+// OnExecutorFail implements ExecutorFaultHandler: an executor died
+// mid-plan; re-run allocation so the lost capacity is replaced data-aware
+// instead of leaving its covered tasks stranded.
+func (c *Custody) OnExecutorFail(env Env, execID int) {
+	c.reallocate(env)
+}
+
+// OnExecutorRecover implements ExecutorFaultHandler: restored capacity may
+// carry locality; re-plan to use it.
+func (c *Custody) OnExecutorRecover(env Env, execID int) {
+	c.reallocate(env)
+}
+
 // reallocate snapshots demand, reclaims useless idle executors, and applies
 // Algorithms 1+2.
 func (c *Custody) reallocate(env Env) {
@@ -183,7 +196,7 @@ func (c *Custody) reallocate(env Env) {
 				jd.Tasks = append(jd.Tasks, core.TaskDemand{
 					Task:  t.Index,
 					Block: t.Block,
-					Nodes: env.NameNode().Locations(t.Block),
+					Nodes: demandNodes(env, t),
 				})
 			}
 			d.Jobs = append(d.Jobs, jd)
@@ -214,6 +227,30 @@ func (c *Custody) reallocate(env Env) {
 			}
 		}
 	}
+}
+
+// demandNodes returns the preferred nodes of a task's block. When every
+// advertised replica holder is usable — the healthy-cluster fast path — the
+// NameNode's answer passes through untouched, preserving the paper's
+// behavior exactly. When locality metadata is stale or holders are down,
+// the preference degrades gracefully: usable replica holders first, then
+// usable nodes rack-local to a replica, then location-free.
+func demandNodes(env Env, t *app.Task) []int {
+	nn := env.NameNode()
+	cl := env.Cluster()
+	locs := nn.Locations(t.Block)
+	usable := func(n int) bool { return cl.NodeAlive(n) && nn.DataNode(n).Alive() }
+	ok := true
+	for _, n := range locs {
+		if !usable(n) {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		return locs
+	}
+	return core.FallbackNodes(locs, usable, nn.Rack, cl.NumNodes())
 }
 
 // onNode reports whether the task's block has a replica on the node.

@@ -67,6 +67,20 @@ type Manager interface {
 	OnNodeFail(env Env, node int)
 }
 
+// ExecutorFaultHandler is an optional Manager capability: managers that
+// implement it are told when a single executor crashes or restarts
+// (finer-grained than OnNodeFail), so they can repair allocation plans
+// mid-flight. The driver discovers it by type assertion; managers without
+// it simply see the effects at their next allocation round.
+type ExecutorFaultHandler interface {
+	// OnExecutorFail is called after one executor died (tasks re-queued,
+	// executor freed and marked dead).
+	OnExecutorFail(env Env, execID int)
+	// OnExecutorRecover is called after a crashed executor rejoined the
+	// free pool.
+	OnExecutorRecover(env Env, execID int)
+}
+
 // fairShare computes the per-application executor budget σ_i — the paper
 // shares the cluster evenly among the registered applications (§VI-A2).
 func fairShare(env Env) int {

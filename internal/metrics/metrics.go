@@ -59,6 +59,37 @@ type Collector struct {
 	Reallocations int
 	// ExecutorMigrations counts executor ownership changes.
 	ExecutorMigrations int
+
+	// TaskRetries counts task attempts re-queued after a failure (chaos
+	// resilience layer).
+	TaskRetries int
+	// AttemptFailures counts task attempts killed by faults (node/executor
+	// crashes, unreachable replica sources).
+	AttemptFailures int
+	// BlacklistEvents counts nodes excluded from scheduling after repeated
+	// failures (Spark excludeOnFailure-style).
+	BlacklistEvents int
+	// ReplicationStalls counts Decommission calls that could not plan
+	// re-replication (error surfaced instead of dropped).
+	ReplicationStalls int
+	// ReplicasRestored counts re-replication transfers that completed and
+	// re-registered a replica with the NameNode.
+	ReplicasRestored int
+	// RecoverySec records, per fault-interrupted task, the wall-clock
+	// seconds from the fault until the task was re-launched.
+	RecoverySec []float64
+}
+
+// MeanRecoverySec returns the mean fault-recovery time, or 0 with no faults.
+func (c *Collector) MeanRecoverySec() float64 {
+	if len(c.RecoverySec) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range c.RecoverySec {
+		sum += x
+	}
+	return sum / float64(len(c.RecoverySec))
 }
 
 // NewCollector returns an empty collector.

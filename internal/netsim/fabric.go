@@ -71,7 +71,14 @@ type Flow struct {
 	started   float64
 	finished  bool
 	cancelled bool
+	src, dst  int // endpoint nodes; -1 for custom flows
 }
+
+// Src returns the flow's source node (-1 for custom flows).
+func (f *Flow) Src() int { return f.src }
+
+// Dst returns the flow's destination node (-1 for custom flows).
+func (f *Flow) Dst() int { return f.dst }
 
 // Rate returns the flow's current max-min fair rate in bytes/second.
 func (f *Flow) Rate() float64 { return f.rate }
@@ -97,6 +104,17 @@ type Fabric struct {
 
 	lastUpdate float64
 	timer      *event.Timer
+
+	// baseCap remembers a resource's nominal capacity while it is scaled
+	// away from it (degraded links, slow disks). Populated lazily on the
+	// first scale so capacity adjustments made at construction time (e.g.
+	// heterogeneous node speeds) are treated as the baseline.
+	baseCap map[*Resource]float64
+
+	// partition, when non-nil, assigns each node to a group; flows crossing
+	// group boundaries are throttled through the shared choke resource.
+	partition []int
+	choke     *Resource
 
 	// TotalBytesMoved accumulates completed flow volume for diagnostics.
 	TotalBytesMoved float64
@@ -137,6 +155,7 @@ func NewFabric(eng *event.Engine, n int, cfg Config) *Fabric {
 		eng:     eng,
 		flows:   make(map[*Flow]struct{}),
 		latency: cfg.LatencySec,
+		baseCap: make(map[*Resource]float64),
 	}
 	for i := 0; i < n; i++ {
 		f.up = append(f.up, &Resource{Kind: Uplink, Node: i, Capacity: cfg.UplinkBps, flows: map[*Flow]struct{}{}})
@@ -154,7 +173,7 @@ func (fb *Fabric) ActiveFlows() int { return len(fb.flows) }
 
 // LocalRead starts a disk-only read of the given size on node n.
 func (fb *Fabric) LocalRead(n int, bytes float64, done func()) *Flow {
-	return fb.start(bytes, done, fb.disk[n])
+	return fb.start(n, n, bytes, done, fb.disk[n])
 }
 
 // RemoteRead starts a read of a block stored on src delivered to dst:
@@ -178,7 +197,7 @@ func (fb *Fabric) RemoteReadCap(src, dst int, bytes, capBps float64, done func()
 	if capBps > 0 {
 		res = append(res, &Resource{Kind: FlowCap, Node: dst, Capacity: capBps, flows: map[*Flow]struct{}{}})
 	}
-	return fb.start(bytes, done, res...)
+	return fb.start(src, dst, bytes, done, res...)
 }
 
 // Transfer starts a memory-to-memory network transfer (e.g., a shuffle
@@ -189,13 +208,14 @@ func (fb *Fabric) Transfer(src, dst int, bytes float64, done func()) *Flow {
 		// (fast) local disk read of the map output.
 		return fb.LocalRead(src, bytes, done)
 	}
-	return fb.start(bytes, done, fb.up[src], fb.down[dst])
+	return fb.start(src, dst, bytes, done, fb.up[src], fb.down[dst])
 }
 
 // StartCustom starts a flow over an explicit resource set. Intended for
-// tests and extensions.
+// tests and extensions. Custom flows carry no endpoints and are exempt from
+// partitions.
 func (fb *Fabric) StartCustom(bytes float64, done func(), resources ...*Resource) *Flow {
-	return fb.start(bytes, done, resources...)
+	return fb.start(-1, -1, bytes, done, resources...)
 }
 
 // UplinkResource exposes node n's uplink (for StartCustom and tests).
@@ -207,12 +227,15 @@ func (fb *Fabric) DownlinkResource(n int) *Resource { return fb.down[n] }
 // DiskResource exposes node n's disk.
 func (fb *Fabric) DiskResource(n int) *Resource { return fb.disk[n] }
 
-func (fb *Fabric) start(bytes float64, done func(), resources ...*Resource) *Flow {
+func (fb *Fabric) start(src, dst int, bytes float64, done func(), resources ...*Resource) *Flow {
 	if bytes < 0 || math.IsNaN(bytes) {
 		panic(fmt.Sprintf("netsim: flow with invalid size %v", bytes))
 	}
 	if len(resources) == 0 {
 		panic("netsim: flow with no resources")
+	}
+	if fb.crossesPartition(src, dst) {
+		resources = append(resources, fb.choke)
 	}
 	fb.nextID++
 	fl := &Flow{
@@ -222,6 +245,8 @@ func (fb *Fabric) start(bytes float64, done func(), resources ...*Resource) *Flo
 		resources: resources,
 		done:      done,
 		started:   fb.eng.Now(),
+		src:       src,
+		dst:       dst,
 	}
 	if bytes == 0 {
 		// Zero-byte flows complete after the setup latency without
@@ -435,6 +460,103 @@ func (fb *Fabric) onCompletion() {
 			fl.done()
 		}
 	}
+}
+
+// Flows returns the active flows ordered by ID (audits and tests).
+func (fb *Fabric) Flows() []*Flow { return fb.sortedFlows() }
+
+// Partitioned reports whether a network partition is in effect.
+func (fb *Fabric) Partitioned() bool { return fb.partition != nil }
+
+// crossesPartition reports whether a flow between the endpoints would span
+// the active partition boundary.
+func (fb *Fabric) crossesPartition(src, dst int) bool {
+	return fb.partition != nil && src >= 0 && dst >= 0 && fb.partition[src] != fb.partition[dst]
+}
+
+// SetPartition splits the fabric into groups (groups[node] is the node's
+// group id): flows crossing a group boundary — in-flight and new — are
+// throttled through a single shared choke of chokeBps bytes/second, the
+// fluid-model stand-in for a partition where only a trickle of traffic
+// leaks across. Replaces any partition already in effect.
+func (fb *Fabric) SetPartition(groups []int, chokeBps float64) {
+	if len(groups) != len(fb.up) {
+		panic(fmt.Sprintf("netsim: SetPartition with %d groups for %d nodes", len(groups), len(fb.up)))
+	}
+	if chokeBps <= 0 {
+		panic("netsim: SetPartition with non-positive choke capacity")
+	}
+	if fb.partition != nil {
+		fb.ClearPartition()
+	}
+	fb.advance()
+	fb.partition = append([]int(nil), groups...)
+	fb.choke = &Resource{Kind: FlowCap, Node: -1, Capacity: chokeBps, flows: map[*Flow]struct{}{}}
+	for _, fl := range fb.sortedFlows() {
+		if fb.crossesPartition(fl.src, fl.dst) {
+			fl.resources = append(fl.resources, fb.choke)
+			fb.choke.flows[fl] = struct{}{}
+		}
+	}
+	fb.reallocate()
+}
+
+// ClearPartition heals the partition: choked flows regain their normal
+// max-min fair rates.
+func (fb *Fabric) ClearPartition() {
+	if fb.partition == nil {
+		return
+	}
+	fb.advance()
+	for _, fl := range fb.sortedFlows() {
+		if _, ok := fb.choke.flows[fl]; !ok {
+			continue
+		}
+		for i, r := range fl.resources {
+			if r == fb.choke {
+				fl.resources = append(fl.resources[:i], fl.resources[i+1:]...)
+				break
+			}
+		}
+	}
+	fb.partition = nil
+	fb.choke = nil
+	fb.reallocate()
+}
+
+// scale sets a resource's capacity to factor × its nominal capacity,
+// remembering the nominal value across repeated scalings.
+func (fb *Fabric) scale(r *Resource, factor float64) {
+	if factor <= 0 || math.IsNaN(factor) {
+		panic(fmt.Sprintf("netsim: scale with invalid factor %v", factor))
+	}
+	base, ok := fb.baseCap[r]
+	if !ok {
+		base = r.Capacity
+		fb.baseCap[r] = base
+	}
+	r.Capacity = base * factor
+	if factor == 1 {
+		delete(fb.baseCap, r)
+	}
+}
+
+// ScaleLinks degrades (or restores, with factor 1) a node's uplink and
+// downlink to factor × nominal capacity. In-flight flows re-converge to the
+// new max-min fair rates immediately.
+func (fb *Fabric) ScaleLinks(node int, factor float64) {
+	fb.advance()
+	fb.scale(fb.up[node], factor)
+	fb.scale(fb.down[node], factor)
+	fb.reallocate()
+}
+
+// ScaleDisk degrades (or restores, with factor 1) a node's disk bandwidth
+// to factor × nominal capacity — a slow-disk straggler.
+func (fb *Fabric) ScaleDisk(node int, factor float64) {
+	fb.advance()
+	fb.scale(fb.disk[node], factor)
+	fb.reallocate()
 }
 
 // Utilization returns the fraction of a resource's capacity currently

@@ -28,6 +28,27 @@ const (
 	NodeRecover Kind = "node-recover"
 )
 
+// Event kinds emitted by the chaos/resilience layer.
+const (
+	ExecFail         Kind = "exec-fail"
+	ExecRecover      Kind = "exec-recover"
+	NetPartition     Kind = "net-partition"
+	NetHeal          Kind = "net-heal"
+	LinkDegrade      Kind = "link-degrade"
+	LinkRestore      Kind = "link-restore"
+	DiskSlow         Kind = "disk-slow"
+	DiskRestore      Kind = "disk-restore"
+	DataNodeFlake    Kind = "datanode-flake"
+	DataNodeResume   Kind = "datanode-resume"
+	MetaStale        Kind = "meta-stale"
+	MetaFresh        Kind = "meta-fresh"
+	TaskRetry        Kind = "task-retry"
+	NodeBlacklist    Kind = "node-blacklist"
+	ReplicationStall Kind = "replication-stall"
+	ReplicaRestored  Kind = "replica-restored"
+	FaultNoop        Kind = "fault-noop"
+)
+
 // Event is one timeline entry. Unused integer fields are -1.
 type Event struct {
 	Time  float64 `json:"t"`
