@@ -40,4 +40,12 @@ go test -race ./...
 echo "== chaos smoke (-race)"
 go test -race -count=1 -run TestChaosSmoke ./internal/chaos
 
+echo "== bench regression gate"
+# Fresh harness run (internal/benchreg) compared against the committed
+# baseline; fails on >15% regression in normalized time or allocs/op, or if
+# the incremental allocator drops below 5x the frozen reference at 1000
+# nodes. Bless a new baseline with:
+#   go run ./cmd/custodybench -quick -emit-json BENCH_PR3.json
+go run ./cmd/custodybench -quick -emit-json /tmp/custody_bench_current.json -baseline BENCH_PR3.json
+
 echo "ci: OK"

@@ -6,30 +6,71 @@ import (
 
 // Allocate runs Custody's two-level data-aware allocation (Algorithms 1 and
 // 2) over a snapshot of application demands and idle executors, returning
-// the executor assignments. Deterministic: ties are broken by identifiers.
+// the executor assignments. Deterministic: ties are broken by identifiers
+// (application and executor IDs must be unique).
+//
+// This is the incremental fast path: instead of recomputing every
+// application's locality state from scratch on each pick — O(apps × jobs ×
+// tasks) per granted executor, the pre-PR3 behavior frozen in
+// AllocateReference — it maintains per-app locality indices (node →
+// pending-task postings, per-task availability counters) that are updated in
+// amortized O(1) per executor grant, and a lazy min-heap over pctLocalJobs
+// so Algorithm 1's "pick the least-localized app" is O(log apps). The plan
+// is byte-identical to the reference implementation; the differential
+// battery in fuzz_diff_test.go is the gate.
 func Allocate(apps []AppDemand, idle []ExecInfo, opts Options) Plan {
-	st := newAllocator(apps, idle, opts)
-	st.run()
-	return Plan{Assignments: st.plan}
+	return NewSession().Allocate(apps, idle, opts)
 }
 
-// allocator is the mutable working state of one allocation round.
+// allocator is the mutable working state of one allocation round. Its
+// arenas and index structures are owned by a Session and reused across
+// rounds.
 type allocator struct {
 	opts Options
 	apps []*appState
 	pool *execPool
 	plan []Assignment
+	heap []*appState // lazy min-heap; see minLocality
+
+	jobScratch []*jobState // sortedJobs scratch, reused across picks
 }
 
 type appState struct {
 	d    AppDemand
+	idx  int // input position; tiebreak of last resort
 	held int
-	jobs []*jobState
+	jobs []jobState
 
 	newLocalJobs  int
 	newLocalTasks int
 	fillGiven     int
-	exhausted     bool // no further useful allocation possible this round
+	wantSum       int // Σ remaining over jobs, kept incrementally for fillWant
+	exhausted     bool
+
+	// denJobs/denTasks are the fixed denominators of the fairness metrics:
+	// history plus this round's pending jobs/tasks.
+	denJobs  int
+	denTasks int
+
+	// satOwn counts unsatisfied tasks with at least one replica node where
+	// the app holds a reserved executor with free slots; satUnres counts
+	// those with at least one replica node holding an unreserved executor.
+	// Together they answer wants() in O(1): the app can take a
+	// locality-carrying slot iff satOwn > 0, or allowNew and satUnres > 0.
+	satOwn   int
+	satUnres int
+
+	// resHeap is a min-heap (by pool index, equivalently executor ID) of
+	// the executors this app has claimed, for O(log n) budget-free picks in
+	// takeAny. Entries whose free slots are exhausted are skipped lazily.
+	resHeap []int32
+
+	// keyJobs/keyTasks snapshot (newLocalJobs, newLocalTasks) at the app's
+	// last (re-)insertion into the allocator heap. Both counters only grow,
+	// so the fairness keys only grow, which is what makes the lazy heap
+	// sound: a stale root is re-keyed and sifted down.
+	keyJobs  int
+	keyTasks int
 }
 
 // fillWant returns how many more slots the app can justify in the fill
@@ -37,11 +78,7 @@ type appState struct {
 // pending task. The executor budget is enforced at take time (slots on
 // already-claimed executors are budget-free).
 func (a *appState) fillWant() int {
-	want := a.d.ExtraTasks
-	for _, j := range a.jobs {
-		want += j.remaining
-	}
-	want -= a.fillGiven
+	want := a.d.ExtraTasks + a.wantSum - a.fillGiven
 	if want < 0 {
 		return 0
 	}
@@ -50,50 +87,44 @@ func (a *appState) fillWant() int {
 
 type jobState struct {
 	d         JobDemand
-	satisfied []bool
+	tasks     []taskState
 	remaining int
 }
 
-func newAllocator(apps []AppDemand, idle []ExecInfo, opts Options) *allocator {
-	if opts.Intra == nil {
-		opts.Intra = PriorityIntra{}
-	}
-	st := &allocator{opts: opts, pool: newExecPool(idle)}
-	for _, d := range apps {
-		a := &appState{d: d, held: d.Held}
-		for _, jd := range d.Jobs {
-			a.jobs = append(a.jobs, &jobState{
-				d:         jd,
-				satisfied: make([]bool, len(jd.Tasks)),
-				remaining: len(jd.Tasks),
-			})
-		}
-		st.apps = append(st.apps, a)
-	}
-	return st
+type taskState struct {
+	d         *TaskDemand
+	owner     *appState
+	job       *jobState
+	satisfied bool
+
+	// ownAvail counts this task's replica postings at nodes where the owner
+	// currently has a reserved executor with free slots; unresAvail counts
+	// postings at nodes that still hold an unreserved executor. Both are
+	// maintained by the pool's drain/raise transitions.
+	ownAvail   int32
+	unresAvail int32
 }
 
 // pctLocalJobs is the fairness metric of Algorithm 1: the fraction of the
 // app's jobs (history + this round's pending jobs) that achieve perfect
 // locality. Apps with no jobs at all count as fully satisfied.
-func (a *appState) pctLocalJobs() float64 {
-	den := a.d.TotalJobs + len(a.jobs)
-	if den == 0 {
-		return 1
-	}
-	return float64(a.d.LocalJobs+a.newLocalJobs) / float64(den)
-}
+func (a *appState) pctLocalJobs() float64 { return a.pctJobsAt(a.newLocalJobs) }
 
 // pctLocalTasks is Algorithm 1's tie-breaker.
-func (a *appState) pctLocalTasks() float64 {
-	den := a.d.TotalTasks
-	for _, j := range a.jobs {
-		den += len(j.d.Tasks)
-	}
-	if den == 0 {
+func (a *appState) pctLocalTasks() float64 { return a.pctTasksAt(a.newLocalTasks) }
+
+func (a *appState) pctJobsAt(newLocal int) float64 {
+	if a.denJobs == 0 {
 		return 1
 	}
-	return float64(a.d.LocalTasks+a.newLocalTasks) / float64(den)
+	return float64(a.d.LocalJobs+newLocal) / float64(a.denJobs)
+}
+
+func (a *appState) pctTasksAt(newLocal int) float64 {
+	if a.denTasks == 0 {
+		return 1
+	}
+	return float64(a.d.LocalTasks+newLocal) / float64(a.denTasks)
 }
 
 // allowNew reports whether the app may claim a previously-unreserved
@@ -101,40 +132,19 @@ func (a *appState) pctLocalTasks() float64 {
 func (a *appState) allowNew() bool { return a.held < a.d.Budget }
 
 // wants reports whether the app can take another locality-carrying slot
-// this round.
+// this round. O(1): the satisfiability counters are maintained by the
+// pool's availability transitions.
 func (st *allocator) wants(a *appState) bool {
 	if a.exhausted || st.pool.size == 0 {
 		return false
 	}
-	for _, j := range a.jobs {
-		for i, t := range j.d.Tasks {
-			if j.satisfied[i] {
-				continue
-			}
-			if st.pool.hasOnAny(t.Nodes, a.d.App, a.allowNew()) {
-				return true
-			}
-		}
-	}
-	return false
+	return a.satOwn > 0 || (a.satUnres > 0 && a.allowNew())
 }
 
-// minLocality implements procedure MINLOCALITY: among the apps that still
-// want executors, return the one with the lowest percentage of local jobs,
-// breaking ties by percentage of local tasks, then app ID.
-func (st *allocator) minLocality() *appState {
-	var best *appState
-	for _, a := range st.apps {
-		if !st.wants(a) {
-			continue
-		}
-		if best == nil || less(a, best) {
-			best = a
-		}
-	}
-	return best
-}
-
+// less orders applications by (pctLocalJobs, pctLocalTasks, app ID), the
+// total order of procedure MINLOCALITY. The input-position tiebreak mirrors
+// the reference scan's first-wins behavior and is only reachable with
+// duplicate app IDs.
 func less(a, b *appState) bool {
 	pa, pb := a.pctLocalJobs(), b.pctLocalJobs()
 	if pa != pb {
@@ -144,7 +154,56 @@ func less(a, b *appState) bool {
 	if ta != tb {
 		return ta < tb
 	}
-	return a.d.App < b.d.App
+	if a.d.App != b.d.App {
+		return a.d.App < b.d.App
+	}
+	return a.idx < b.idx
+}
+
+// heapLess orders heap entries by their snapshotted keys. Live values may
+// run ahead of the snapshot (they only grow); minLocality re-keys stale
+// roots before trusting them.
+func heapLess(a, b *appState) bool {
+	pa, pb := a.pctJobsAt(a.keyJobs), b.pctJobsAt(b.keyJobs)
+	if pa != pb {
+		return pa < pb
+	}
+	ta, tb := a.pctTasksAt(a.keyTasks), b.pctTasksAt(b.keyTasks)
+	if ta != tb {
+		return ta < tb
+	}
+	if a.d.App != b.d.App {
+		return a.d.App < b.d.App
+	}
+	return a.idx < b.idx
+}
+
+// minLocality implements procedure MINLOCALITY: among the apps that still
+// want executors, return the one with the lowest percentage of local jobs,
+// breaking ties by percentage of local tasks, then app ID.
+//
+// The heap is lazy: because an app's fairness keys only grow within a
+// round, and wants() can only transition true→false for any app other than
+// the one currently being served (whose claims are the only events that
+// raise availability), the root can be repaired in place — re-key and sift
+// down when stale, drop permanently when no longer wanting — and the first
+// fresh, wanting root is the true minimum. Amortized O(log apps) per call.
+func (st *allocator) minLocality() *appState {
+	for len(st.heap) > 0 {
+		top := st.heap[0]
+		if !st.wants(top) {
+			st.heapPop()
+			continue
+		}
+		if top.keyJobs != top.newLocalJobs || top.keyTasks != top.newLocalTasks {
+			top.keyJobs = top.newLocalJobs
+			top.keyTasks = top.newLocalTasks
+			st.heapSiftDown(0)
+			continue
+		}
+		return top
+	}
+	return nil
 }
 
 // run is procedure INTER-APP FAIRNESS (Algorithm 1): while idle executors
@@ -169,45 +228,57 @@ func (st *allocator) run() {
 }
 
 // fill hands leftover slots to applications that still have pending tasks,
-// least-localized first, one slot per pending task.
+// least-localized first, one slot per pending task. The fairness keys are
+// frozen during fill (fill assignments carry no locality), so a single
+// stable sort replaces the reference's per-grant rescans; a takeAny failure
+// is permanent (availability only shrinks), matching the reference's
+// blocked set.
 func (st *allocator) fill() {
-	blocked := map[int]bool{}
-	for st.pool.size > 0 {
-		var best *appState
-		for _, a := range st.apps {
-			if blocked[a.d.App] || a.fillWant() <= 0 {
-				continue
-			}
-			if best == nil || less(a, best) {
-				best = a
-			}
+	var order []*appState
+	for _, a := range st.apps {
+		if a.fillWant() > 0 {
+			order = append(order, a)
 		}
-		if best == nil {
+	}
+	sort.SliceStable(order, func(i, j int) bool { return less(order[i], order[j]) })
+	for _, a := range order {
+		if st.pool.size == 0 {
 			return
 		}
-		e, newExec, ok := st.pool.takeAny(best.d.App, best.allowNew())
-		if !ok {
-			blocked[best.d.App] = true
-			continue
+		for a.fillWant() > 0 {
+			e, newExec, ok := st.pool.takeAny(a)
+			if !ok {
+				break
+			}
+			st.assign(a, e, nil, nil, false, newExec)
+			a.fillGiven++
+			if st.pool.size == 0 {
+				return
+			}
 		}
-		st.assign(best, e, nil, 0, false, newExec)
-		best.fillGiven++
 	}
 }
 
 // assign records the allocation of one executor slot and updates locality
 // state. newExec marks the first slot claimed on an executor, which is the
 // unit the budget σ_i counts.
-func (st *allocator) assign(a *appState, e ExecInfo, j *jobState, taskIdx int, local, newExec bool) {
+func (st *allocator) assign(a *appState, e ExecInfo, j *jobState, t *taskState, local, newExec bool) {
 	as := Assignment{App: a.d.App, Exec: e.ID, Node: e.Node}
 	if j != nil {
 		as.Job = j.d.Job
-		as.Task = j.d.Tasks[taskIdx].Task
-		as.Block = j.d.Tasks[taskIdx].Block
+		as.Task = t.d.Task
+		as.Block = t.d.Block
 		as.Local = local
-		if local && !j.satisfied[taskIdx] {
-			j.satisfied[taskIdx] = true
+		if local && !t.satisfied {
+			if t.unresAvail > 0 {
+				a.satUnres--
+			}
+			if t.ownAvail > 0 {
+				a.satOwn--
+			}
+			t.satisfied = true
 			j.remaining--
+			a.wantSum--
 			a.newLocalTasks++
 			if j.remaining == 0 {
 				a.newLocalJobs++
@@ -235,6 +306,13 @@ type IntraStrategy interface {
 	allocate(st *allocator, a *appState)
 }
 
+// takeable reports whether takeOnAny would succeed for the task — the O(1)
+// equivalent of attempting it: an executor is usable iff it is reserved to
+// the app with free slots, or unreserved while the budget allows a claim.
+func takeable(a *appState, t *taskState) bool {
+	return t.ownAvail > 0 || (t.unresAvail > 0 && a.allowNew())
+}
+
 // PriorityIntra is the paper's Algorithm 2: jobs sorted by number of
 // unsatisfied input tasks ascending; all of a job's demands are served
 // before the next job ("apply for all the desired executors of a job before
@@ -246,23 +324,18 @@ type PriorityIntra struct{}
 func (PriorityIntra) Name() string { return "priority" }
 
 func (PriorityIntra) allocate(st *allocator, a *appState) {
-	jobs := append([]*jobState(nil), a.jobs...)
-	sort.SliceStable(jobs, func(i, j int) bool {
-		if jobs[i].remaining != jobs[j].remaining {
-			return jobs[i].remaining < jobs[j].remaining
-		}
-		return jobs[i].d.Job < jobs[j].d.Job
-	})
+	jobs := st.sortedJobs(a)
 	for _, j := range jobs {
-		for ti := range j.d.Tasks {
-			if j.satisfied[ti] {
-				continue
-			}
-			e, newExec, ok := st.pool.takeOnAny(j.d.Tasks[ti].Nodes, a.d.App, a.allowNew())
-			if !ok {
+		for ti := range j.tasks {
+			t := &j.tasks[ti]
+			if t.satisfied || !takeable(a, t) {
 				continue // no available executor stores this task's input
 			}
-			st.assign(a, e, j, ti, true, newExec)
+			e, newExec, ok := st.pool.takeOnAny(t.d.Nodes, a)
+			if !ok {
+				continue
+			}
+			st.assign(a, e, j, t, true, newExec)
 			if st.minLocality() != a {
 				return // yield to a now-less-localized application
 			}
@@ -282,17 +355,19 @@ func (FairnessIntra) allocate(st *allocator, a *appState) {
 	progress := true
 	for progress {
 		progress = false
-		for _, j := range a.jobs {
+		for ji := range a.jobs {
+			j := &a.jobs[ji]
 			// One unsatisfied task per job per pass.
-			for ti := range j.d.Tasks {
-				if j.satisfied[ti] {
+			for ti := range j.tasks {
+				t := &j.tasks[ti]
+				if t.satisfied || !takeable(a, t) {
 					continue
 				}
-				e, newExec, ok := st.pool.takeOnAny(j.d.Tasks[ti].Nodes, a.d.App, a.allowNew())
+				e, newExec, ok := st.pool.takeOnAny(t.d.Nodes, a)
 				if !ok {
 					continue
 				}
-				st.assign(a, e, j, ti, true, newExec)
+				st.assign(a, e, j, t, true, newExec)
 				progress = true
 				if st.minLocality() != a {
 					return
@@ -303,123 +378,58 @@ func (FairnessIntra) allocate(st *allocator, a *appState) {
 	}
 }
 
-// poolExec is one idle executor's state inside the pool. Once a slot is
-// taken by an application, the executor is reserved: its remaining slots may
-// only serve the same application (an executor belongs to one app,
-// constraint (2)).
-type poolExec struct {
-	info     ExecInfo
-	free     int
-	reserved int // app ID, or -1 when unreserved
-}
-
-// execPool indexes idle executor slots by node for locality lookups.
-type execPool struct {
-	byNode map[int][]*poolExec // per node, sorted by executor ID
-	order  []int               // node ids with executors, kept sorted
-	size   int                 // total free slots
-}
-
-func newExecPool(idle []ExecInfo) *execPool {
-	p := &execPool{byNode: map[int][]*poolExec{}}
-	sorted := append([]ExecInfo(nil), idle...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
-	for _, e := range sorted {
-		pe := &poolExec{info: e, free: e.slots(), reserved: -1}
-		p.byNode[e.Node] = append(p.byNode[e.Node], pe)
-		p.size += pe.free
+// sortedJobs returns the app's jobs ordered by (remaining unsatisfied
+// tasks, job ID), using the session's scratch slice.
+func (st *allocator) sortedJobs(a *appState) []*jobState {
+	jobs := st.jobScratch[:0]
+	for i := range a.jobs {
+		jobs = append(jobs, &a.jobs[i])
 	}
-	for n := range p.byNode {
-		p.order = append(p.order, n)
-	}
-	sort.Ints(p.order)
-	return p
-}
-
-// usable reports whether the entry can serve the app under the budget rule.
-func (pe *poolExec) usable(app int, allowNew bool) bool {
-	if pe.free <= 0 {
-		return false
-	}
-	if pe.reserved == app {
-		return true
-	}
-	return pe.reserved == -1 && allowNew
-}
-
-// hasOnAny reports whether the app could take a slot on one of the nodes.
-func (p *execPool) hasOnAny(nodes []int, app int, allowNew bool) bool {
-	for _, n := range nodes {
-		for _, pe := range p.byNode[n] {
-			if pe.usable(app, allowNew) {
-				return true
-			}
+	sort.SliceStable(jobs, func(i, j int) bool {
+		if jobs[i].remaining != jobs[j].remaining {
+			return jobs[i].remaining < jobs[j].remaining
 		}
-	}
-	return false
+		return jobs[i].d.Job < jobs[j].d.Job
+	})
+	st.jobScratch = jobs
+	return jobs
 }
 
-// takeOnAny takes one slot on one of the given nodes for the app. Slots on
-// executors already reserved for the app are preferred (they are free with
-// respect to the budget); ties break toward the lowest executor ID.
-// newExec reports whether a previously-unreserved executor was claimed.
-func (p *execPool) takeOnAny(nodes []int, app int, allowNew bool) (e ExecInfo, newExec, ok bool) {
-	var best *poolExec
-	seen := map[int]bool{}
-	for _, n := range nodes {
-		if seen[n] {
-			continue
+// ---- allocator heap (lazy min-heap of *appState by snapshotted keys) ----
+
+func (st *allocator) heapInit() {
+	for i := len(st.heap)/2 - 1; i >= 0; i-- {
+		st.heapSiftDown(i)
+	}
+}
+
+func (st *allocator) heapPop() {
+	h := st.heap
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = nil
+	st.heap = h[:n]
+	if n > 0 {
+		st.heapSiftDown(0)
+	}
+}
+
+func (st *allocator) heapSiftDown(i int) {
+	h := st.heap
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
 		}
-		seen[n] = true
-		for _, pe := range p.byNode[n] {
-			if !pe.usable(app, allowNew) {
-				continue
-			}
-			if best == nil || betterPick(pe, best, app) {
-				best = pe
-			}
+		m := l
+		if r := l + 1; r < n && heapLess(h[r], h[l]) {
+			m = r
 		}
-	}
-	if best == nil {
-		return ExecInfo{}, false, false
-	}
-	return p.takeSlot(best, app)
-}
-
-// takeAny takes one slot anywhere for the app.
-func (p *execPool) takeAny(app int, allowNew bool) (e ExecInfo, newExec, ok bool) {
-	var best *poolExec
-	for _, n := range p.order {
-		for _, pe := range p.byNode[n] {
-			if !pe.usable(app, allowNew) {
-				continue
-			}
-			if best == nil || betterPick(pe, best, app) {
-				best = pe
-			}
+		if !heapLess(h[m], h[i]) {
+			return
 		}
+		h[i], h[m] = h[m], h[i]
+		i = m
 	}
-	if best == nil {
-		return ExecInfo{}, false, false
-	}
-	return p.takeSlot(best, app)
-}
-
-// betterPick orders candidates: app-reserved executors first (no budget
-// cost), then lowest executor ID.
-func betterPick(a, b *poolExec, app int) bool {
-	ar := a.reserved == app
-	br := b.reserved == app
-	if ar != br {
-		return ar
-	}
-	return a.info.ID < b.info.ID
-}
-
-func (p *execPool) takeSlot(pe *poolExec, app int) (ExecInfo, bool, bool) {
-	newExec := pe.reserved == -1
-	pe.reserved = app
-	pe.free--
-	p.size--
-	return pe.info, newExec, true
 }

@@ -67,6 +67,53 @@ func shuffled(rng *xrand.Rand, apps []AppDemand, idle []ExecInfo) ([]AppDemand, 
 	return as, es
 }
 
+// TestAllocateWarmSessionDeterministicUnderShuffle extends the shuffle
+// contract to the incremental fast path's warm state: a Session carried
+// across three consecutive rounds (demands advanced between rounds the way
+// the manager would) must produce byte-identical plans for every round no
+// matter how each round's input slices are ordered, and must agree with the
+// frozen reference implementation at every round. 20 trials with
+// independently shuffled inputs per round.
+func TestAllocateWarmSessionDeterministicUnderShuffle(t *testing.T) {
+	for _, opts := range []Options{DefaultOptions(), {FillToBudget: false}} {
+		name := fmt.Sprintf("fill=%v", opts.FillToBudget)
+		t.Run(name, func(t *testing.T) {
+			gen := xrand.New(0xBEEF)
+			apps, idle := genDemands(gen, 6, 20)
+
+			// Canonical three-round trajectory through one warm session.
+			type round struct {
+				apps []AppDemand
+				idle []ExecInfo
+				plan string
+			}
+			var rounds []round
+			sess := NewSession()
+			a, e := apps, idle
+			for r := 0; r < 3; r++ {
+				p := sess.Allocate(a, e, opts)
+				rounds = append(rounds, round{apps: a, idle: e, plan: fmt.Sprintf("%#v", p)})
+				if ref := fmt.Sprintf("%#v", AllocateReference(a, e, opts)); ref != rounds[r].plan {
+					t.Fatalf("round %d: warm session diverges from reference\n got: %s\nwant: %s", r, rounds[r].plan, ref)
+				}
+				a, e = advanceRound(a, e, p)
+			}
+
+			shuf := gen.Fork("shuffle")
+			for trial := 0; trial < 20; trial++ {
+				warm := NewSession()
+				for r, rd := range rounds {
+					as, es := shuffled(shuf, rd.apps, rd.idle)
+					got := fmt.Sprintf("%#v", warm.Allocate(as, es, opts))
+					if got != rd.plan {
+						t.Fatalf("trial %d round %d: warm plan differs under input shuffle\n got: %s\nwant: %s", trial, r, got, rd.plan)
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestAllocateDeterministicUnderShuffle pins the documented contract of
 // Allocate ("Deterministic: ties are broken by identifiers"): the plan must
 // be byte-identical no matter how the input slices are ordered. 20 trials

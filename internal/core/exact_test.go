@@ -60,6 +60,115 @@ func TestExactMultiSlot(t *testing.T) {
 	}
 }
 
+// TestQuickTwoApproxAfterChurn extends the brute-force oracle beyond
+// cold-start allocation: after a grant → revoke → re-grant cycle the
+// residual instance must still satisfy both bounds. The revoke step mirrors
+// the manager's ExecutorFaultHandler.OnExecutorFail semantics (core cannot
+// import manager — it is a leaf layer): every executor on the failed node
+// disappears, the tasks it served return to pending, and surviving claims
+// count against the budget as Held. On the residual instance the two-level
+// heuristic must not beat the exact optimum, and per app the Algorithm 2
+// greedy must stay within a factor 2 of the optimal intra objective.
+func TestQuickTwoApproxAfterChurn(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		nodes := rng.IntRange(2, 4)
+		var idle []ExecInfo
+		for n := 0; n < nodes; n++ {
+			idle = append(idle, ExecInfo{ID: n, Node: n})
+		}
+		nApps := rng.IntRange(1, 2)
+		var apps []AppDemand
+		block := 0
+		for a := 0; a < nApps; a++ {
+			ad := AppDemand{App: a, Budget: rng.IntRange(1, nodes)}
+			for j := 0; j < rng.IntRange(1, 2); j++ {
+				jd := JobDemand{Job: j}
+				for k := 0; k < rng.IntRange(1, 2); k++ {
+					jd.Tasks = append(jd.Tasks, TaskDemand{
+						Task: k, Block: hdfs.BlockID(block), Nodes: rng.Sample(nodes, rng.IntRange(1, 2)),
+					})
+					block++
+				}
+				ad.Jobs = append(ad.Jobs, jd)
+			}
+			apps = append(apps, ad)
+		}
+
+		// Grant.
+		plan := Allocate(apps, idle, Options{FillToBudget: false})
+
+		// Revoke: fail one node, dropping its executors and their work.
+		failedNode := int(seed % uint64(nodes))
+		nodeOf := map[int]int{}
+		for _, e := range idle {
+			nodeOf[e.ID] = e.Node
+		}
+		granted := map[int]bool{}
+		survClaims := map[int]int{}    // app → surviving claimed executors
+		survLocal := map[[3]int]bool{} // (app, job, task) still locally served
+		for _, as := range plan.Assignments {
+			if !granted[as.Exec] {
+				granted[as.Exec] = true
+				if nodeOf[as.Exec] != failedNode {
+					survClaims[as.App]++
+				}
+			}
+			if as.Local && nodeOf[as.Exec] != failedNode {
+				survLocal[[3]int{as.App, as.Job, as.Task}] = true
+			}
+		}
+
+		// Residual instance for the re-grant round.
+		var resApps []AppDemand
+		for _, ad := range apps {
+			nd := ad
+			nd.Held = ad.Held + survClaims[ad.App]
+			nd.Jobs = nil
+			for _, jd := range ad.Jobs {
+				var rest []TaskDemand
+				for _, td := range jd.Tasks {
+					if !survLocal[[3]int{ad.App, jd.Job, td.Task}] {
+						rest = append(rest, td)
+					}
+				}
+				if len(rest) > 0 {
+					nd.Jobs = append(nd.Jobs, JobDemand{Job: jd.Job, Tasks: rest})
+				}
+			}
+			resApps = append(resApps, nd)
+		}
+		var resIdle []ExecInfo
+		for _, e := range idle {
+			if !granted[e.ID] && e.Node != failedNode {
+				resIdle = append(resIdle, e)
+			}
+		}
+
+		// Re-grant: optimality and 2-approximation bounds on the residual.
+		exact := ExactJobLevelMaxMin(resApps, resIdle)
+		heur := HeuristicJobLevelMaxMin(resApps, resIdle)
+		if heur > exact+1e-9 {
+			return false
+		}
+		for _, ad := range resApps {
+			budget := ad.Budget - ad.Held
+			if budget < 0 {
+				budget = 0
+			}
+			greedy, _ := GreedyIntraObjective(ad.Jobs, resIdle, budget)
+			optimal := OptimalIntraObjective(ad.Jobs, resIdle, budget)
+			if greedy < optimal/2-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // Property: the heuristic never beats the exact optimum, and on small
 // instances stays within a reasonable factor of it.
 func TestQuickHeuristicVsExact(t *testing.T) {

@@ -1,13 +1,18 @@
 // Package event provides a deterministic discrete-event simulation engine.
 //
-// Events are ordered by (time, sequence number), so two events scheduled for
-// the same instant fire in the order they were scheduled. All times are in
+// Events are ordered by (time, tie-stamp), so two events scheduled for the
+// same instant fire in the order they were scheduled. All times are in
 // seconds, represented as float64. The engine is single-threaded by design:
 // simulations built on it are fully deterministic given a fixed seed.
+//
+// The queue is a 4-ary heap with lazy cancellation: Cancel marks the handle
+// and the queue discards it when it reaches the root, so cancelling under
+// netsim/chaos timer churn is O(1) instead of an O(n) removal. When more
+// than half the queue (and more than a fixed floor) is dead, the queue is
+// compacted in one pass.
 package event
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -16,10 +21,10 @@ import (
 // before it fires.
 type Timer struct {
 	time      float64
-	seq       uint64
+	seq       uint64 // tie-stamp: schedule order within an instant
 	fn        func()
 	cancelled bool
-	index     int // heap index, -1 once popped
+	inQueue   bool
 }
 
 // Time returns the simulated time at which the timer fires.
@@ -32,15 +37,19 @@ func (t *Timer) Cancelled() bool { return t.cancelled }
 //
 // The zero value is not usable; construct with NewEngine.
 type Engine struct {
-	pq        eventHeap
-	now       float64
-	seq       uint64
-	executed  uint64
-	running   bool
-	stopped   bool
-	horizon   float64 // RunUntil limit; +Inf when unused
-	panicWrap bool
+	pq       []*Timer // 4-ary min-heap by (time, seq)
+	ncancel  int      // cancelled timers still in pq
+	now      float64
+	seq      uint64
+	executed uint64
+	running  bool
+	stopped  bool
+	horizon  float64 // RunUntil limit; +Inf when unused
 }
+
+// compactFloor is the minimum number of dead entries before a compaction is
+// worth a full pass; below it the lazy discards at the root are cheaper.
+const compactFloor = 32
 
 // NewEngine returns an empty engine with the clock at zero.
 func NewEngine() *Engine {
@@ -78,38 +87,43 @@ func (e *Engine) At(t float64, fn func()) *Timer {
 	if t < e.now {
 		panic(fmt.Sprintf("event: At called with time %v < now %v", t, e.now))
 	}
-	tm := &Timer{time: t, seq: e.seq, fn: fn}
+	tm := &Timer{time: t, seq: e.seq, fn: fn, inQueue: true}
 	e.seq++
-	heap.Push(&e.pq, tm)
+	e.push(tm)
 	return tm
 }
 
-// Cancel cancels a previously scheduled timer. Cancelling a nil timer or a
-// timer that has already fired is a no-op.
+// Cancel cancels a previously scheduled timer in O(1): the handle is marked
+// and the queue discards it lazily. Cancelling a nil timer or a timer that
+// has already fired is a no-op.
 func (e *Engine) Cancel(t *Timer) {
-	if t == nil || t.cancelled || t.index < 0 {
-		if t != nil {
-			t.cancelled = true
-		}
+	if t == nil || t.cancelled {
 		return
 	}
 	t.cancelled = true
-	heap.Remove(&e.pq, t.index)
+	if !t.inQueue {
+		return
+	}
+	e.ncancel++
+	if e.ncancel > compactFloor && e.ncancel > len(e.pq)/2 {
+		e.compact()
+	}
 }
 
 // Step executes the next pending event, if any, and reports whether an event
 // was executed. Cancelled events are discarded without counting as a step.
 func (e *Engine) Step() bool {
 	for len(e.pq) > 0 {
-		tm := heap.Pop(&e.pq).(*Timer)
+		tm := e.pq[0]
 		if tm.cancelled {
+			e.popRoot()
+			e.ncancel--
 			continue
 		}
 		if tm.time > e.horizon {
-			// Past the run horizon: push back and refuse.
-			heap.Push(&e.pq, tm)
-			return false
+			return false // past the run horizon; leave it queued
 		}
+		e.popRoot()
 		e.now = tm.time
 		e.executed++
 		tm.fn()
@@ -155,36 +169,84 @@ func (e *Engine) loop() {
 	}
 }
 
-// eventHeap implements heap.Interface ordered by (time, seq).
-type eventHeap []*Timer
+// ---- 4-ary min-heap by (time, seq) ----
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
+func timerLess(a, b *Timer) bool {
+	if a.time != b.time {
+		return a.time < b.time
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+func (e *Engine) push(tm *Timer) {
+	e.pq = append(e.pq, tm)
+	i := len(e.pq) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !timerLess(e.pq[i], e.pq[parent]) {
+			break
+		}
+		e.pq[i], e.pq[parent] = e.pq[parent], e.pq[i]
+		i = parent
+	}
 }
 
-func (h *eventHeap) Push(x any) {
-	t := x.(*Timer)
-	t.index = len(*h)
-	*h = append(*h, t)
+// popRoot removes the minimum element.
+func (e *Engine) popRoot() {
+	h := e.pq
+	n := len(h) - 1
+	h[0].inQueue = false
+	h[0] = h[n]
+	h[n] = nil
+	e.pq = h[:n]
+	if n > 0 {
+		e.siftDown(0)
+	}
 }
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	t.index = -1
-	*h = old[:n-1]
-	return t
+func (e *Engine) siftDown(i int) {
+	h := e.pq
+	n := len(h)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			return
+		}
+		m := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if timerLess(h[c], h[m]) {
+				m = c
+			}
+		}
+		if !timerLess(h[m], h[i]) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// compact removes every cancelled entry in one pass and restores the heap
+// invariant bottom-up.
+func (e *Engine) compact() {
+	live := e.pq[:0]
+	for _, tm := range e.pq {
+		if tm.cancelled {
+			tm.inQueue = false
+			continue
+		}
+		live = append(live, tm)
+	}
+	for i := len(live); i < len(e.pq); i++ {
+		e.pq[i] = nil
+	}
+	e.pq = live
+	e.ncancel = 0
+	for i := (len(live) - 2) / 4; i >= 0; i-- {
+		e.siftDown(i)
+	}
 }

@@ -263,6 +263,92 @@ func TestQuickCancelSubset(t *testing.T) {
 	}
 }
 
+// TestMassCancelCompaction pins the lazy-cancellation contract: cancelling
+// is O(1) (the handle is only marked), dead entries are counted by Pending
+// until compaction, and a mass cancel triggers a one-pass compaction that
+// leaves only live timers — which then fire in exactly schedule order.
+func TestMassCancelCompaction(t *testing.T) {
+	e := NewEngine()
+	const total = 1000
+	timers := make([]*Timer, total)
+	var got []int
+	for i := 0; i < total; i++ {
+		i := i
+		timers[i] = e.Schedule(float64(i%50), func() { got = append(got, i) })
+	}
+	for i := 0; i < total; i++ {
+		if i%10 != 0 {
+			e.Cancel(timers[i])
+		}
+	}
+	// 900 of 1000 cancelled: the >half+floor threshold fires repeatedly, so
+	// at most the 100 live timers plus a below-threshold tail of dead ones
+	// may remain queued (each compaction resets the dead counter).
+	if e.Pending() > 100+2*compactFloor {
+		t.Fatalf("Pending() = %d after mass cancel, want ≤ %d (compacted)", e.Pending(), 100+2*compactFloor)
+	}
+	e.Run()
+	if len(got) != 100 {
+		t.Fatalf("fired %d events, want 100", len(got))
+	}
+	for k, v := range got {
+		if v%10 != 0 {
+			t.Fatalf("cancelled timer %d fired", v)
+		}
+		_ = k
+	}
+	if !sort.IntsAreSorted(appendTimes(nil, got)) {
+		t.Fatal("post-compaction firing order not sorted by (time, seq)")
+	}
+}
+
+// appendTimes maps the fired indices back to (time, seq)-comparable keys:
+// index i fired at time i%50 with tie-stamp i, so i%50*total+i is the total
+// order the engine must respect.
+func appendTimes(dst []int, fired []int) []int {
+	for _, i := range fired {
+		dst = append(dst, (i%50)*100000+i)
+	}
+	return dst
+}
+
+// TestCancelledPendingLazy pins that below the compaction threshold,
+// cancelled events stay queued (Pending counts them) and are discarded at
+// the root without counting as a step.
+func TestCancelledPendingLazy(t *testing.T) {
+	e := NewEngine()
+	var fired int
+	t1 := e.Schedule(1, func() { fired++ })
+	e.Schedule(2, func() { fired++ })
+	e.Cancel(t1)
+	if e.Pending() != 2 {
+		t.Fatalf("Pending() = %d, want 2 (lazy cancel keeps the entry)", e.Pending())
+	}
+	if !e.Step() {
+		t.Fatal("Step() = false with a live event queued")
+	}
+	if fired != 1 || e.Now() != 2 {
+		t.Fatalf("fired=%d now=%v, want the live event at t=2", fired, e.Now())
+	}
+	if e.Executed() != 1 {
+		t.Fatalf("Executed() = %d, want 1 (discarded cancel must not count)", e.Executed())
+	}
+}
+
+// BenchmarkTimerChurn measures the netsim/chaos pattern the 4-ary heap and
+// lazy cancellation target: schedule a timeout, cancel it, reschedule.
+func BenchmarkTimerChurn(b *testing.B) {
+	e := NewEngine()
+	for i := 0; i < b.N; i++ {
+		tm := e.Schedule(100, func() {})
+		e.Cancel(tm)
+		if i%64 == 0 {
+			e.Schedule(0, func() {})
+			e.Step()
+		}
+	}
+}
+
 func BenchmarkScheduleRun(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		e := NewEngine()

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/driver"
+	"repro/internal/trace"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+var updateGolden = flag.Bool("update", false, "regenerate the golden trace files under testdata/golden")
+
+// goldenRun replays one canonical shrunken experiment — one seed of the
+// workload kind under the manager — and returns its full timeline.
+func goldenRun(kind workload.Kind, mk ManagerKind) (*trace.Recorder, error) {
+	spec := workload.DefaultSpec(kind)
+	spec.Apps = 2
+	spec.JobsPerApp = 3
+	sched := workload.Generate(spec, xrand.New(7))
+	cfg := driver.DefaultConfig()
+	cfg.Seed = 7
+	cfg.Nodes = 16
+	cfg.RackSize = 4
+	cfg.Manager = NewManager(mk, 7)
+	rec := trace.NewRecorder()
+	cfg.Tracer = rec
+	if _, err := driver.RunSchedule(cfg, sched); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// TestGoldenTraces pins the end-to-end behavior of the whole stack — the
+// allocator fast path included — byte-for-byte: every simulation timeline
+// must match the recorded canonical trace exactly, for one seed of each
+// workload kind under both managers. Regenerate after an intentional
+// behavior change with:
+//
+//	go test ./internal/experiments -run TestGoldenTraces -update
+func TestGoldenTraces(t *testing.T) {
+	for _, kind := range workload.Kinds() {
+		for _, mk := range []ManagerKind{Standalone, Custody} {
+			kind, mk := kind, mk
+			name := fmt.Sprintf("%s-%s", strings.ToLower(string(kind)), mk)
+			t.Run(name, func(t *testing.T) {
+				rec, err := goldenRun(kind, mk)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if err := rec.WriteCSV(&buf); err != nil {
+					t.Fatal(err)
+				}
+				path := filepath.Join("testdata", "golden", name+".trace")
+				if *updateGolden {
+					if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					t.Logf("updated %s (%d bytes)", path, buf.Len())
+					return
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing golden trace: %v (regenerate with -update)", err)
+				}
+				if !bytes.Equal(buf.Bytes(), want) {
+					t.Fatalf("trace diverges from golden %s at line %d:\n got: %s\nwant: %s",
+						path, firstDiffLine(buf.Bytes(), want), lineAt(buf.Bytes(), firstDiffLine(buf.Bytes(), want)), lineAt(want, firstDiffLine(buf.Bytes(), want)))
+				}
+			})
+		}
+	}
+}
+
+// firstDiffLine returns the 1-based index of the first differing line.
+func firstDiffLine(a, b []byte) int {
+	la := strings.Split(string(a), "\n")
+	lb := strings.Split(string(b), "\n")
+	n := len(la)
+	if len(lb) < n {
+		n = len(lb)
+	}
+	for i := 0; i < n; i++ {
+		if la[i] != lb[i] {
+			return i + 1
+		}
+	}
+	return n + 1
+}
+
+// lineAt returns the 1-based line of the buffer, or a marker past the end.
+func lineAt(buf []byte, line int) string {
+	ls := strings.Split(string(buf), "\n")
+	if line-1 < len(ls) {
+		return ls[line-1]
+	}
+	return "<past end of trace>"
+}

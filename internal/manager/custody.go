@@ -24,6 +24,14 @@ type Custody struct {
 	// paper's experiments leave applications on unmodified delay
 	// scheduling, which ignores the suggestions.
 	EmitHints bool
+
+	// sess is the warm incremental allocation state (locality indices, pool
+	// indexes, arenas) reused across driver round-trips; demandBuf and
+	// idleBuf are the reused demand-snapshot buffers. Lazily initialized on
+	// the first reallocation.
+	sess      *core.Session
+	demandBuf []core.AppDemand
+	idleBuf   []core.ExecInfo
 }
 
 // NewCustody builds the Custody manager with the paper's configuration.
@@ -165,7 +173,7 @@ func (c *Custody) reallocate(env Env) {
 
 	// Phase 2: build core demands from uncovered pending tasks, grouped by
 	// job; history comes from the app's finished-job accounting.
-	demands := make([]core.AppDemand, 0, len(apps))
+	demands := c.demandBuf[:0]
 	for i, a := range apps {
 		p := plans[i]
 		d := core.AppDemand{
@@ -204,12 +212,18 @@ func (c *Custody) reallocate(env Env) {
 		demands = append(demands, d)
 	}
 
-	// Phase 3: allocate idle executors (slot-aware).
-	var idle []core.ExecInfo
+	// Phase 3: allocate idle executors (slot-aware) on the warm session, so
+	// round-trips reuse the previous round's index structures and arenas.
+	idle := c.idleBuf[:0]
 	for _, e := range cl.Free() {
 		idle = append(idle, core.ExecInfo{ID: e.ID, Node: e.Node.ID, Slots: e.Slots()})
 	}
-	plan := core.Allocate(demands, idle, c.Opts)
+	if c.sess == nil {
+		c.sess = core.NewSession()
+	}
+	plan := c.sess.Allocate(demands, idle, c.Opts)
+	c.demandBuf = demands
+	c.idleBuf = idle
 	for _, as := range plan.Assignments {
 		e := cl.Executor(as.Exec)
 		if e.Owner() != cluster.AppID(as.App) {
