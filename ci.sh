@@ -48,4 +48,22 @@ echo "== bench regression gate"
 #   go run ./cmd/custodybench -quick -emit-json BENCH_PR3.json
 go run ./cmd/custodybench -quick -emit-json /tmp/custody_bench_current.json -baseline BENCH_PR3.json
 
+echo "== observability sweep"
+# Small seeded run with every provenance sink attached: exercises the
+# JSONL/CSV/OpenMetrics exporters and the -explain chain end to end, and
+# leaves the artifacts for CI to upload.
+mkdir -p artifacts
+go run ./cmd/custodysim -nodes 16 -apps 2 -jobs 3 -workload Sort -seed 7 \
+    -obsv-out artifacts/obsv -explain 0.1 > artifacts/explain.txt
+for f in artifacts/obsv.jsonl artifacts/obsv.csv artifacts/obsv.om artifacts/explain.txt; do
+    if [ ! -s "$f" ]; then
+        echo "observability sweep left $f empty or missing"
+        exit 1
+    fi
+done
+if ! tail -1 artifacts/obsv.om | grep -q '^# EOF$'; then
+    echo "artifacts/obsv.om is not a terminated OpenMetrics exposition"
+    exit 1
+fi
+
 echo "ci: OK"

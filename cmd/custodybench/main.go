@@ -37,15 +37,19 @@ func main() {
 		mdOut    = flag.String("md", "", "also write a Markdown report of the figure sweep to this file")
 		emitJSON = flag.String("emit-json", "", "run the benchmark-regression harness and write BENCH_*.json to this path (skips -fig)")
 		baseline = flag.String("baseline", "", "with -emit-json: compare the fresh run against this committed baseline and exit nonzero on >15% regression")
+		pprofDir = flag.String("pprof", "", "with -emit-json: write per-case CPU and heap profiles (<case>.cpu.pprof, <case>.heap.pprof) into this directory")
 	)
 	flag.Parse()
 
 	if *emitJSON != "" {
-		runBenchHarness(*emitJSON, *baseline, *quick, *seed)
+		runBenchHarness(*emitJSON, *baseline, *pprofDir, *quick, *seed)
 		return
 	}
 	if *baseline != "" {
 		fail(fmt.Errorf("-baseline requires -emit-json"))
+	}
+	if *pprofDir != "" {
+		fail(fmt.Errorf("-pprof requires -emit-json"))
 	}
 
 	opts := experiments.DefaultOptions()
@@ -190,8 +194,9 @@ const benchTolerance = 0.15
 
 // runBenchHarness runs the internal/benchreg cases, writes the JSON report,
 // and optionally enforces the regression gate against a committed baseline.
-func runBenchHarness(outPath, basePath string, quick bool, seed uint64) {
-	rep, err := benchreg.Run(quick, seed)
+// A non-empty profDir additionally captures per-case pprof profiles.
+func runBenchHarness(outPath, basePath, profDir string, quick bool, seed uint64) {
+	rep, err := benchreg.RunProfiled(quick, seed, profDir)
 	if err != nil {
 		fail(err)
 	}
@@ -199,6 +204,9 @@ func runBenchHarness(outPath, basePath string, quick bool, seed uint64) {
 		fail(err)
 	}
 	fmt.Printf("benchmark report written to %s (mode=%s, speedup_1000=%.1fx)\n", outPath, rep.Mode, rep.Speedup1000)
+	if profDir != "" {
+		fmt.Printf("pprof profiles written to %s/ (one .cpu.pprof and .heap.pprof per case)\n", profDir)
+	}
 	for _, c := range rep.Cases {
 		fmt.Printf("  %-24s %12.0f ns/op  %8d allocs/op  %9d peak-heap-B  (norm %.3f)\n",
 			c.Name, c.NsPerOp, c.AllocsPerOp, c.PeakLiveHeapBytes, c.NsNorm)

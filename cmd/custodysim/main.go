@@ -11,9 +11,12 @@ import (
 	"log"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 
 	"repro/custody"
 	"repro/internal/metrics"
+	"repro/internal/obsv"
 )
 
 func main() {
@@ -32,6 +35,8 @@ func main() {
 		spec     = flag.Bool("speculation", false, "enable speculative execution")
 		sched    = flag.String("scheduler", "delay", "task scheduler: delay | delay-taskset | fifo | locality-hard | quincy")
 		traceOut = flag.String("trace", "", "write an execution-timeline CSV to this file")
+		explain  = flag.String("explain", "", "print the decision chain behind every grant of one job, as app.job (e.g. 0.5)")
+		obsvOut  = flag.String("obsv-out", "", "write decision-provenance artifacts to <prefix>.jsonl, <prefix>.csv, <prefix>.om")
 		verbose  = flag.Bool("v", false, "print per-workload breakdown")
 	)
 	flag.Parse()
@@ -54,10 +59,49 @@ func main() {
 		MeanInterarrival: *arrival,
 		Seed:             *seed,
 	}
+
+	// Decision provenance: a hub records every Algorithm 1 pick and grant;
+	// -obsv-out additionally streams them into JSONL/CSV sinks and writes an
+	// OpenMetrics exposition when the run finishes.
+	var hub *custody.Observability
+	var omCol *metrics.Collector // bound after the run, read at sink close
+	if *explain != "" || *obsvOut != "" {
+		hub = custody.NewObservability(0)
+		cfg.Obsv = hub
+	}
+	if *obsvOut != "" {
+		for _, ext := range []string{".jsonl", ".csv", ".om"} {
+			f, err := os.Create(*obsvOut + ext)
+			if err != nil {
+				log.Printf("custodysim: %v", err)
+				os.Exit(1)
+			}
+			switch ext {
+			case ".jsonl":
+				hub.AddSink(obsv.NewJSONLSink(f))
+			case ".csv":
+				hub.AddSink(obsv.NewCSVSink(f))
+			case ".om":
+				hub.AddSink(&obsv.OpenMetricsSink{
+					W:         f,
+					Flight:    hub.Flight,
+					Collector: func() *metrics.Collector { return omCol },
+				})
+			}
+		}
+	}
+
 	res, err := custody.Run(cfg, w)
 	if err != nil {
 		log.Printf("custodysim: %v", err)
 		os.Exit(1)
+	}
+	if hub != nil {
+		omCol = res.Collector
+		if err := hub.Close(); err != nil {
+			log.Printf("custodysim: provenance sink: %v", err)
+			os.Exit(1)
+		}
 	}
 	col := res.Collector
 	fmt.Printf("manager=%s workload=%s nodes=%d apps=%d jobs=%d seed=%d\n",
@@ -99,6 +143,28 @@ func main() {
 		}
 		fmt.Printf("  trace: %d events → %s (utilization %.3f)\n",
 			len(res.Trace.Events), *traceOut,
-			res.Trace.Utilization(*nodes**execs**slots))
+			res.Trace.Utilization(cfg.TotalSlots()))
+	}
+	if *obsvOut != "" {
+		d, g := hub.Flight.Dropped()
+		fmt.Printf("  provenance: %s.{jsonl,csv,om} (%d rounds, dropped %d decisions / %d grants)\n",
+			*obsvOut, hub.Flight.Rounds(), d, g)
+	}
+	if *explain != "" {
+		appStr, jobStr, ok := strings.Cut(*explain, ".")
+		if !ok {
+			log.Printf("custodysim: -explain wants app.job (e.g. 0.5), got %q", *explain)
+			os.Exit(1)
+		}
+		appID, err1 := strconv.Atoi(appStr)
+		jobID, err2 := strconv.Atoi(jobStr)
+		if err1 != nil || err2 != nil {
+			log.Printf("custodysim: -explain wants app.job (e.g. 0.5), got %q", *explain)
+			os.Exit(1)
+		}
+		if err := hub.Flight.Explain(os.Stdout, appID, jobID); err != nil {
+			log.Printf("custodysim: %v", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"repro/internal/hdfs"
 	"repro/internal/manager"
 	"repro/internal/metrics"
+	"repro/internal/obsv"
 	"repro/internal/trace"
 	"repro/internal/workload"
 	"repro/internal/xrand"
@@ -122,6 +123,18 @@ type Config struct {
 	Speculation     bool
 	// Trace records the execution timeline; retrieve it from Result.Trace.
 	Trace bool
+	// Obsv attaches a decision-provenance hub (see NewObservability): the
+	// Custody manager's allocator reports every Algorithm 1 pick and grant
+	// into it, and the driver feeds it audit results and fault no-ops.
+	Obsv *Observability
+}
+
+// TotalSlots returns the run's total task-slot capacity — nodes ×
+// executors per node × slots per executor after defaults are applied — the
+// denominator of TraceRecorder.Utilization.
+func (c Config) TotalSlots() int {
+	dcfg := c.driverConfig()
+	return dcfg.Nodes * dcfg.ExecutorsPerNode * dcfg.SlotsPerExecutor
 }
 
 // Workload describes a generated workload, mirroring §VI-A2.
@@ -207,6 +220,15 @@ func (c Config) driverConfig() driver.Config {
 	default:
 		cfg.Manager = manager.NewCustody()
 	}
+	if c.Obsv != nil {
+		cfg.Obsv = c.Obsv
+		// Allocation decisions exist only under the Custody manager (the
+		// others don't run Algorithms 1–2); audits and fault no-ops flow
+		// for every manager.
+		if m, ok := cfg.Manager.(*manager.Custody); ok {
+			m.Opts.Observer = c.Obsv
+		}
+	}
 	return cfg
 }
 
@@ -264,6 +286,25 @@ func Compare(cfg Config, w Workload, a, b ManagerName) (*Result, *Result, error)
 	}
 	return ra, rb, nil
 }
+
+// ---- Observability & decision provenance (internal/obsv) ----
+
+// Observability is a decision-provenance hub (DESIGN.md §11): a fixed-size
+// flight recorder of every Algorithm 1 pick and executor grant, plus
+// streaming sinks (JSONL, CSV, OpenMetrics). Attach one via Config.Obsv;
+// after the run, Explain on its Flight recorder reconstructs the exact
+// fairness-key comparison behind each grant of a job.
+type Observability = obsv.Hub
+
+// ObservedDecision is one recorded Algorithm 1 pick.
+type ObservedDecision = obsv.Decision
+
+// ObservedGrant is one recorded executor-slot grant.
+type ObservedGrant = obsv.Grant
+
+// NewObservability returns a hub whose flight recorder retains the last
+// decisionCap decisions (and 4× as many grants); pass 0 for the defaults.
+func NewObservability(decisionCap int) *Observability { return obsv.NewHub(decisionCap) }
 
 // ---- Level 3: paper reproduction ----
 

@@ -18,11 +18,12 @@ import (
 
 func main() {
 	rec := trace.NewRecorder()
-	sim := custody.NewSimulationTraced(custody.Config{
+	cfg := custody.Config{
 		Nodes:   30,
 		Seed:    11,
 		Manager: custody.ManagerCustody,
-	}, rec)
+	}
+	sim := custody.NewSimulationTraced(cfg, rec)
 
 	input, err := sim.CreateInput("warehouse/events", 4<<30)
 	if err != nil {
@@ -60,7 +61,7 @@ func main() {
 	fmt.Printf("timeline: %d events (%d allocations, %d launches, %d node events)\n",
 		len(rec.Events), rec.Count(trace.ExecAlloc),
 		rec.Count(trace.TaskLaunch), rec.Count(trace.NodeFail)+rec.Count(trace.NodeRecover))
-	fmt.Printf("cluster utilization over the run: %.3f\n", rec.Utilization(30*2*4))
+	fmt.Printf("cluster utilization over the run: %.3f\n", rec.Utilization(cfg.TotalSlots()))
 
 	f, err := os.CreateTemp("", "custody-trace-*.csv")
 	if err != nil {

@@ -17,8 +17,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"sort"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -128,6 +131,32 @@ func MicroInstance(nodes int, rng *xrand.Rand) ([]core.AppDemand, []core.ExecInf
 // sweep workload (it is also what CI and the committed baselines use, so
 // comparisons are quick-vs-quick).
 func Run(quick bool, seed uint64) (*Report, error) {
+	return RunProfiled(quick, seed, "")
+}
+
+// RunProfiled is Run with optional profile capture: when profileDir is
+// non-empty, each case's benchmark loop runs under a CPU profile and is
+// followed by a post-GC heap profile, written as
+// <dir>/<case>.cpu.pprof and <dir>/<case>.heap.pprof ("/" in case names
+// becomes "-"). Profiling skews ns/op slightly, so profiled runs should
+// not be blessed as baselines.
+func RunProfiled(quick bool, seed uint64, profileDir string) (*Report, error) {
+	if profileDir != "" {
+		if err := os.MkdirAll(profileDir, 0o755); err != nil {
+			return nil, fmt.Errorf("benchreg: %w", err)
+		}
+	}
+	var profErr error
+	measure := measureCase
+	if profileDir != "" {
+		measure = func(name string, bench func(b *testing.B), once func()) Case {
+			c, err := profiledCase(name, profileDir, bench, once)
+			if err != nil && profErr == nil {
+				profErr = err
+			}
+			return c
+		}
+	}
 	rep := &Report{Schema: Schema, Mode: mode(quick)}
 
 	// Fig. 7–10 shrunken grid through the full simulation stack.
@@ -184,6 +213,9 @@ func Run(quick bool, seed uint64) (*Report, error) {
 	if incr1k.NsPerOp > 0 {
 		rep.Speedup1000 = ref1k.NsPerOp / incr1k.NsPerOp
 	}
+	if profErr != nil {
+		return nil, fmt.Errorf("benchreg: profile capture: %w", profErr)
+	}
 	return rep, nil
 }
 
@@ -194,10 +226,10 @@ func mode(quick bool) string {
 	return "full"
 }
 
-// measure runs one case under testing.Benchmark and samples its peak live
-// heap: the growth of HeapAlloc across a single un-GC'd run after a forced
-// collection — an approximation of the case's peak live working set.
-func measure(name string, bench func(b *testing.B), once func()) Case {
+// measureCase runs one case under testing.Benchmark and samples its peak
+// live heap: the growth of HeapAlloc across a single un-GC'd run after a
+// forced collection — an approximation of the case's peak live working set.
+func measureCase(name string, bench func(b *testing.B), once func()) Case {
 	r := testing.Benchmark(bench)
 	var before, after runtime.MemStats
 	runtime.GC()
@@ -215,6 +247,39 @@ func measure(name string, bench func(b *testing.B), once func()) Case {
 		BytesPerOp:        r.AllocedBytesPerOp(),
 		PeakLiveHeapBytes: peak,
 	}
+}
+
+// profiledCase is measureCase under runtime/pprof capture: the CPU profile
+// covers the benchmark loop plus the heap-sampling run; the heap profile is
+// written after a forced GC, so it shows the case's live retained set.
+func profiledCase(name, dir string, bench func(b *testing.B), once func()) (Case, error) {
+	base := filepath.Join(dir, strings.ReplaceAll(name, "/", "-"))
+	cf, err := os.Create(base + ".cpu.pprof")
+	if err != nil {
+		return Case{}, err
+	}
+	if err := pprof.StartCPUProfile(cf); err != nil {
+		cerr := cf.Close()
+		if cerr != nil {
+			return Case{}, fmt.Errorf("%w (and closing profile: %v)", err, cerr)
+		}
+		return Case{}, err
+	}
+	c := measureCase(name, bench, once)
+	pprof.StopCPUProfile()
+	if err := cf.Close(); err != nil {
+		return c, err
+	}
+	hf, err := os.Create(base + ".heap.pprof")
+	if err != nil {
+		return c, err
+	}
+	runtime.GC()
+	err = pprof.WriteHeapProfile(hf)
+	if cerr := hf.Close(); err == nil {
+		err = cerr
+	}
+	return c, err
 }
 
 // Compare checks a fresh run against a committed baseline and returns the

@@ -2,6 +2,8 @@ package core
 
 import (
 	"sort"
+
+	"repro/internal/obsv"
 )
 
 // Allocate runs Custody's two-level data-aware allocation (Algorithms 1 and
@@ -33,6 +35,14 @@ type allocator struct {
 	heap []*appState // lazy min-heap; see minLocality
 
 	jobScratch []*jobState // sortedJobs scratch, reused across picks
+
+	// obs receives decision provenance; nil disables instrumentation. dec
+	// holds the pending Decision of the current pick: it is emitted on the
+	// pick's first grant (so it can carry the job Algorithm 2 actually
+	// served), or with Job=-1 when the pick produced nothing.
+	obs        obsv.AllocObserver
+	dec        obsv.Decision
+	decPending bool
 }
 
 type appState struct {
@@ -215,16 +225,74 @@ func (st *allocator) run() {
 		if a == nil {
 			break
 		}
+		if st.obs != nil {
+			st.beginPick(a, obsv.PhaseLocality, st.runnerUp())
+		}
 		before := len(st.plan)
 		st.opts.Intra.allocate(st, a)
 		if len(st.plan) == before {
 			// No progress: nothing in the pool is useful to this app.
 			a.exhausted = true
+			if st.obs != nil {
+				st.emitPick(nil) // records the exhausted pick (no-grant)
+			}
 		}
 	}
 	if st.opts.FillToBudget {
 		st.fill()
 	}
+}
+
+// ---- decision provenance (all paths guarded by st.obs != nil) ----
+
+// runnerUp returns the application the current pick beat: the
+// second-smallest heap entry, which in a binary min-heap is always one of
+// the root's two children. Non-root entries always carry fresh keys — only
+// the app being served accrues locality, and it sits at the root until
+// minLocality re-keys it — so comparing the children with the live order
+// is exact. The runner-up is reported whether or not it can still take an
+// executor (lazy deletion may not have reached it); nil when uncontested.
+func (st *allocator) runnerUp() *appState {
+	var ru *appState
+	for _, i := range [2]int{1, 2} {
+		if i < len(st.heap) && (ru == nil || less(st.heap[i], ru)) {
+			ru = st.heap[i]
+		}
+	}
+	return ru
+}
+
+// beginPick stages the Decision for a fresh pick. It is emitted by the
+// first grant (emitPick via assign), which fills in the served job; a
+// pending decision from a grantless fill pick is simply overwritten.
+func (st *allocator) beginPick(a *appState, phase obsv.Phase, ru *appState) {
+	st.dec = obsv.Decision{
+		Phase:    phase,
+		App:      a.d.App,
+		Key:      obsv.Key{Jobs: a.pctLocalJobs(), Tasks: a.pctLocalTasks()},
+		RunnerUp: -1,
+		Job:      -1,
+	}
+	if ru != nil {
+		st.dec.RunnerUp = ru.d.App
+		st.dec.RunnerUpKey = obsv.Key{Jobs: ru.pctLocalJobs(), Tasks: ru.pctLocalTasks()}
+	}
+	st.decPending = true
+}
+
+// emitPick flushes the pending Decision, recording the first job
+// Algorithm 2 served for this pick (j) and its unsatisfied-task count at
+// grant time; j is nil for no-grant and fill decisions.
+func (st *allocator) emitPick(j *jobState) {
+	if !st.decPending {
+		return
+	}
+	st.decPending = false
+	if j != nil {
+		st.dec.Job = j.d.Job
+		st.dec.Unsat = j.remaining
+	}
+	st.obs.Decide(st.dec)
 }
 
 // fill hands leftover slots to applications that still have pending tasks,
@@ -241,9 +309,20 @@ func (st *allocator) fill() {
 		}
 	}
 	sort.SliceStable(order, func(i, j int) bool { return less(order[i], order[j]) })
-	for _, a := range order {
+	for i, a := range order {
 		if st.pool.size == 0 {
 			return
+		}
+		if st.obs != nil {
+			// Fill picks are decided by the frozen sort above, so the
+			// runner-up is simply the next app in fill order. The staged
+			// decision is emitted only if the app actually receives a slot;
+			// a blocked app's pending decision is overwritten or dropped.
+			var ru *appState
+			if i+1 < len(order) {
+				ru = order[i+1]
+			}
+			st.beginPick(a, obsv.PhaseFill, ru)
 		}
 		for a.fillWant() > 0 {
 			e, newExec, ok := st.pool.takeAny(a)
@@ -263,6 +342,20 @@ func (st *allocator) fill() {
 // state. newExec marks the first slot claimed on an executor, which is the
 // unit the budget σ_i counts.
 func (st *allocator) assign(a *appState, e ExecInfo, j *jobState, t *taskState, local, newExec bool) {
+	if st.obs != nil {
+		st.emitPick(j)
+		g := obsv.Grant{App: a.d.App, Exec: e.ID, Node: e.Node, Job: -1, Task: -1, Reason: obsv.ReasonArbitraryFill}
+		if j != nil && local {
+			g.Job = j.d.Job
+			g.Task = t.d.Task
+			if t.d.Fallback {
+				g.Reason = obsv.ReasonRackFallback
+			} else {
+				g.Reason = obsv.ReasonLocalBlock
+			}
+		}
+		st.obs.Grant(g)
+	}
 	as := Assignment{App: a.d.App, Exec: e.ID, Node: e.Node}
 	if j != nil {
 		as.Job = j.d.Job

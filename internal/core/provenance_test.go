@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/obsv"
+	"repro/internal/xrand"
+)
+
+// recordLog runs one allocation round with a fresh flight recorder attached
+// and returns the rendered decision log.
+func recordLog(t *testing.T, apps []AppDemand, idle []ExecInfo, opts Options) string {
+	t.Helper()
+	fr := obsv.NewFlightRecorder(0, 0)
+	opts.Observer = fr
+	NewSession().Allocate(apps, idle, opts)
+	var b strings.Builder
+	if err := fr.WriteLog(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestProvenanceLogDeterministicUnderShuffle extends the shuffle contract
+// to the observability layer: the flight recorder's decision log — every
+// Algorithm 1 pick with its fairness keys, runner-ups, and grants — must be
+// byte-identical no matter how the input slices are ordered. Provenance
+// that shifted under incidental input order would make -explain output
+// unreproducible and therefore useless as evidence. 20 trials with
+// independently shuffled inputs, against both intra-app strategies.
+func TestProvenanceLogDeterministicUnderShuffle(t *testing.T) {
+	for _, opts := range []Options{DefaultOptions(), {FillToBudget: false}} {
+		opts := opts
+		t.Run(boolName("fill", opts.FillToBudget), func(t *testing.T) {
+			gen := xrand.New(0xFACE)
+			apps, idle := genDemands(gen, 6, 20)
+
+			base := recordLog(t, apps, idle, opts)
+			if base == "" {
+				t.Fatal("decision log empty: observer not wired into Allocate")
+			}
+			if !strings.Contains(base, "decision 0 round=1") {
+				t.Fatalf("log missing first decision:\n%s", base)
+			}
+			if !strings.Contains(base, "grant exec=") {
+				t.Fatalf("log recorded no grants:\n%s", base)
+			}
+
+			shuf := gen.Fork("shuffle")
+			for trial := 0; trial < 20; trial++ {
+				as, es := shuffled(shuf, apps, idle)
+				if got := recordLog(t, as, es, opts); got != base {
+					t.Fatalf("trial %d: decision log differs under input shuffle\n got:\n%s\nwant:\n%s", trial, got, base)
+				}
+			}
+		})
+	}
+}
+
+// TestObserverDoesNotPerturbPlan pins that attaching an observer is purely
+// passive: the plan with provenance recording must be byte-identical to
+// the plan without it, and to the frozen reference.
+func TestObserverDoesNotPerturbPlan(t *testing.T) {
+	gen := xrand.New(0xD00D)
+	apps, idle := genDemands(gen, 6, 20)
+	opts := DefaultOptions()
+
+	plain := fmt.Sprintf("%#v", NewSession().Allocate(apps, idle, opts))
+
+	observed := opts
+	observed.Observer = obsv.NewFlightRecorder(0, 0)
+	withObs := fmt.Sprintf("%#v", NewSession().Allocate(apps, idle, observed))
+
+	if plain != withObs {
+		t.Fatalf("observer changed the plan\nplain: %s\n  obs: %s", plain, withObs)
+	}
+	if ref := fmt.Sprintf("%#v", AllocateReference(apps, idle, opts)); ref != withObs {
+		t.Fatalf("observed plan diverges from reference\n ref: %s\n obs: %s", ref, withObs)
+	}
+}
+
+// TestProvenanceGrantsMatchPlan cross-checks the recorded grants against
+// the returned plan: every local-phase grant (job >= 0) must appear as an
+// assignment in the plan, with matching executor.
+func TestProvenanceGrantsMatchPlan(t *testing.T) {
+	gen := xrand.New(0xAB1E)
+	apps, idle := genDemands(gen, 6, 20)
+	opts := DefaultOptions()
+	fr := obsv.NewFlightRecorder(0, 0)
+	opts.Observer = fr
+	plan := NewSession().Allocate(apps, idle, opts)
+
+	type slot struct{ app, exec, job, task int }
+	planned := map[slot]bool{}
+	for _, a := range plan.Assignments {
+		planned[slot{a.App, a.Exec, a.Job, a.Task}] = true
+	}
+	local := 0
+	for _, g := range fr.Grants() {
+		if g.Job < 0 {
+			continue
+		}
+		local++
+		if !planned[slot{g.App, g.Exec, g.Job, g.Task}] {
+			t.Fatalf("grant %+v has no matching assignment in the plan", g)
+		}
+	}
+	if local == 0 {
+		t.Fatal("no local grants recorded on a contended instance")
+	}
+}
+
+func boolName(prefix string, v bool) string {
+	if v {
+		return prefix + "=true"
+	}
+	return prefix + "=false"
+}

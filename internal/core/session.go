@@ -42,7 +42,12 @@ func (s *Session) Allocate(apps []AppDemand, idle []ExecInfo, opts Options) Plan
 	}
 	st := &s.st
 	st.opts = opts
+	st.obs = opts.Observer
+	st.decPending = false
 	st.plan = nil // handed to the caller; must not be reused
+	if st.obs != nil {
+		st.obs.BeginRound(len(apps), len(idle))
+	}
 	st.pool.reset(idle)
 	s.buildApps(apps)
 	st.heapInit()

@@ -8,7 +8,10 @@
 // (internal/manager) is responsible for applying plans to cluster state.
 package core
 
-import "repro/internal/hdfs"
+import (
+	"repro/internal/hdfs"
+	"repro/internal/obsv"
+)
 
 // TaskDemand is one input task's data requirement: the block it reads and
 // the nodes currently storing replicas of that block (the NameNode's answer,
@@ -17,6 +20,12 @@ type TaskDemand struct {
 	Task  int // caller-defined task identifier
 	Block hdfs.BlockID
 	Nodes []int
+	// Fallback marks Nodes as rack-local stand-ins rather than replica
+	// holders: the NameNode's advertised holders were all unusable and the
+	// preference degraded (FallbackNodes case 2). Purely provenance — the
+	// allocator treats fallback nodes exactly like replica holders — but it
+	// distinguishes local-block from rack-fallback grants in obsv.
+	Fallback bool
 }
 
 // JobDemand is one job's set of input-task demands. Jobs with fewer
@@ -119,6 +128,11 @@ type Options struct {
 	// Intra selects the intra-application strategy; nil means Priority
 	// (the paper's Algorithm 2).
 	Intra IntraStrategy
+	// Observer, when non-nil, receives decision provenance: one
+	// obsv.Decision per Algorithm 1 pick and one obsv.Grant per executor
+	// slot granted. The allocator's hot path stays allocation-free either
+	// way; with a nil Observer the instrumentation is a single branch.
+	Observer obsv.AllocObserver
 }
 
 // DefaultOptions mirrors the paper's configuration.

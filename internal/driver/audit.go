@@ -135,6 +135,9 @@ func (d *Driver) Audit() error {
 		}
 	}
 
+	if d.cfg.Obsv != nil {
+		d.cfg.Obsv.Audit(len(v), strings.Join(v, "; "))
+	}
 	if len(v) == 0 {
 		return nil
 	}

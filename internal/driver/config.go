@@ -10,6 +10,7 @@ import (
 	"repro/internal/hdfs"
 	"repro/internal/manager"
 	"repro/internal/netsim"
+	"repro/internal/obsv"
 	"repro/internal/scheduler"
 	"repro/internal/trace"
 )
@@ -119,6 +120,12 @@ type Config struct {
 
 	// Tracer receives timeline events (nil → discarded).
 	Tracer trace.Tracer
+
+	// Obsv receives decision provenance and invariant taps (nil → none).
+	// The driver wires the hub's clock to simulated time and feeds it
+	// Audit results and chaos fault no-ops; pass the same hub as the
+	// manager's core Observer to capture allocation decisions too.
+	Obsv *obsv.Hub
 
 	// Speculation enables straggler re-execution (§IV-B mentions straggler
 	// mitigation schemes as complementary).

@@ -94,6 +94,9 @@ func New(cfg Config) *Driver {
 	if tr == nil {
 		tr = trace.Nop{}
 	}
+	if cfg.Obsv != nil && cfg.Obsv.Clock == nil {
+		cfg.Obsv.Clock = eng.Now // stamp records with simulated time
+	}
 	fabric := netsim.NewFabric(eng, cfg.Nodes, cfg.Net)
 	cl := cluster.New(cfg.clusterConfig())
 	for _, n := range cl.Nodes() {

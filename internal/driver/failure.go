@@ -53,9 +53,12 @@ func (d *Driver) InjectNodeRecover(node int) bool {
 }
 
 // faultNoop records an ignored fault injection (double-fail, recover of a
-// healthy target, and similar).
+// healthy target, and similar), in the trace and the observability sinks.
 func (d *Driver) faultNoop(node, exec int) {
 	d.tr.Emit(trace.Event{Time: d.eng.Now(), Kind: trace.FaultNoop, App: -1, Job: -1, Stage: -1, Task: -1, Exec: exec, Node: node})
+	if d.cfg.Obsv != nil {
+		d.cfg.Obsv.FaultNoop(node, exec)
+	}
 }
 
 // runningTasksSorted returns the tasks with tracked attempts in

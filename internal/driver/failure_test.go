@@ -240,6 +240,52 @@ func TestDriverEmitsTrace(t *testing.T) {
 	}
 }
 
+// TestUtilizationCountsRetriedAttempts runs a chaos schedule that kills
+// running attempts and checks that BusySlotSeconds credits the killed
+// attempts' occupancy: it must exceed the retry-blind pairing (the pre-fix
+// implementation, reconstructed inline), which silently dropped the first
+// attempt of every retried task.
+func TestUtilizationCountsRetriedAttempts(t *testing.T) {
+	rec := trace.NewRecorder()
+	cfg := smallConfig(custodyMgr())
+	cfg.Tracer = rec
+	d := New(cfg)
+	f, _ := d.CreateInput("in", 256<<20)
+	a := d.RegisterApp("retry-heavy")
+	d.Start()
+	b := app.NewJob(1, "Sort", "in")
+	in := b.AddInputStage("map", f.Blocks, app.TaskSpec{ComputeSec: 2, OutputBytes: 32 << 20})
+	b.AddShuffleStage("reduce", []*app.Stage{in}, 2, 64<<20, app.TaskSpec{ComputeSec: 0.5})
+	d.SubmitJobAt(1.0, a, b.Build())
+	d.FailNodeAt(2.5, 3)
+	d.FailNodeAt(3.0, 5)
+	d.Run()
+
+	if rec.Count(trace.TaskRetry) == 0 {
+		t.Fatal("fixture produced no retries; the regression is not exercised")
+	}
+	// The retry-blind pairing this test guards against: launches keyed by
+	// task identity only, so a re-launch overwrites the first attempt.
+	type key struct{ app, job, stage, task int }
+	launched := map[key]float64{}
+	blind := 0.0
+	for _, e := range rec.Events {
+		k := key{e.App, e.Job, e.Stage, e.Task}
+		switch e.Kind {
+		case trace.TaskLaunch:
+			launched[k] = e.Time
+		case trace.TaskFinish:
+			if t0, ok := launched[k]; ok {
+				blind += e.Time - t0
+				delete(launched, k)
+			}
+		}
+	}
+	if got := rec.BusySlotSeconds(); got <= blind {
+		t.Fatalf("BusySlotSeconds = %v, not above retry-blind pairing %v: killed attempts' occupancy dropped", got, blind)
+	}
+}
+
 // TestBudgetInvariantThroughoutRun replays the execution trace and checks
 // that no application ever holds more executors than its fair share σ at
 // any point in time, under the dynamic managers.

@@ -201,10 +201,12 @@ func (c *Custody) reallocate(env Env) {
 		for _, jid := range jobIDs {
 			jd := core.JobDemand{Job: jid}
 			for _, t := range byJob[jid] {
+				nodes, fb := demandNodes(env, t)
 				jd.Tasks = append(jd.Tasks, core.TaskDemand{
-					Task:  t.Index,
-					Block: t.Block,
-					Nodes: demandNodes(env, t),
+					Task:     t.Index,
+					Block:    t.Block,
+					Nodes:    nodes,
+					Fallback: fb,
 				})
 			}
 			d.Jobs = append(d.Jobs, jd)
@@ -248,8 +250,11 @@ func (c *Custody) reallocate(env Env) {
 // NameNode's answer passes through untouched, preserving the paper's
 // behavior exactly. When locality metadata is stale or holders are down,
 // the preference degrades gracefully: usable replica holders first, then
-// usable nodes rack-local to a replica, then location-free.
-func demandNodes(env Env, t *app.Task) []int {
+// usable nodes rack-local to a replica, then location-free. fallback is
+// true only in the rack-local case, where the returned nodes are stand-ins
+// rather than replica holders (a grant there is a rack-fallback grant in
+// the provenance log, not a local-block one).
+func demandNodes(env Env, t *app.Task) (nodes []int, fallback bool) {
 	nn := env.NameNode()
 	cl := env.Cluster()
 	locs := nn.Locations(t.Block)
@@ -262,9 +267,26 @@ func demandNodes(env Env, t *app.Task) []int {
 		}
 	}
 	if ok {
-		return locs
+		return locs, false
 	}
-	return core.FallbackNodes(locs, usable, nn.Rack, cl.NumNodes())
+	fb := core.FallbackNodes(locs, usable, nn.Rack, cl.NumNodes())
+	// FallbackNodes returns either the usable subset of the advertised
+	// holders (still genuinely local) or rack-local non-holders; the two
+	// sets are disjoint, so membership of the first element decides.
+	if len(fb) > 0 && !containsNode(locs, fb[0]) {
+		return fb, true
+	}
+	return fb, false
+}
+
+// containsNode reports whether nodes contains n (replica lists are short).
+func containsNode(nodes []int, n int) bool {
+	for _, x := range nodes {
+		if x == n {
+			return true
+		}
+	}
+	return false
 }
 
 // onNode reports whether the task's block has a replica on the node.

@@ -338,8 +338,15 @@ func Histogram(xs []float64, n int) (counts []int, lo, width float64) {
 }
 
 // CDF evaluates the empirical distribution of xs at the given probability
-// points (each in [0,1]), returning the corresponding quantiles.
+// points (each in [0,1]), returning the corresponding quantiles. Returns
+// nil for an empty series: there is no distribution to evaluate, and
+// propagating Percentile's NaN sentinel would leak NaN cells into the
+// Markdown/CSV reports built on top of this (a workload with zero input
+// tasks produces exactly such empty series).
 func CDF(xs []float64, points []float64) []float64 {
+	if len(xs) == 0 {
+		return nil
+	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
 	out := make([]float64, len(points))

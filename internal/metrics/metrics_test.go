@@ -211,3 +211,19 @@ func TestCDF(t *testing.T) {
 		t.Fatalf("median = %v", q[1])
 	}
 }
+
+// TestCDFEmptySeries pins the NaN guard: an empty series (a workload with
+// zero input tasks) must yield nil, not a slice of Percentile's NaN
+// sentinel, which would leak into Markdown/CSV report cells.
+func TestCDFEmptySeries(t *testing.T) {
+	if q := CDF(nil, []float64{0, 0.5, 1}); q != nil {
+		t.Fatalf("CDF of empty series = %v, want nil", q)
+	}
+	if q := CDF([]float64{}, []float64{0.5}); q != nil {
+		t.Fatalf("CDF of empty series = %v, want nil", q)
+	}
+	// Non-empty series are unaffected by the guard.
+	if q := CDF([]float64{7}, []float64{0, 1}); len(q) != 2 || q[0] != 7 || q[1] != 7 {
+		t.Fatalf("CDF of singleton = %v", q)
+	}
+}

@@ -158,7 +158,14 @@ func (r *Recorder) MigrationCount() int {
 }
 
 // BusySlotSeconds integrates task occupancy: Σ (finish − launch) over all
-// task-finish events paired with their launches.
+// task attempts, pairing attempts explicitly. A task identified by
+// (app, job, stage, task) can occupy a slot more than once — the driver
+// re-emits TaskLaunch for every retried or speculative attempt — so a new
+// launch while an interval is open banks the elapsed occupancy before
+// reopening, and a TaskRetry (emitted at fault time, when the attempt's
+// slot is reclaimed) closes the open interval. Without attempt pairing a
+// re-launch would silently overwrite the first attempt's start time and
+// drop its occupancy, undercounting utilization under any chaos schedule.
 func (r *Recorder) BusySlotSeconds() float64 {
 	type key struct{ app, job, stage, task int }
 	launched := map[key]float64{}
@@ -167,7 +174,18 @@ func (r *Recorder) BusySlotSeconds() float64 {
 		k := key{e.App, e.Job, e.Stage, e.Task}
 		switch e.Kind {
 		case TaskLaunch:
+			if t0, ok := launched[k]; ok {
+				// A prior attempt is still open (retry or speculative
+				// re-launch): its slot was busy from t0 until now.
+				total += e.Time - t0
+			}
 			launched[k] = e.Time
+		case TaskRetry:
+			// The failed attempt's slot is reclaimed at fault time.
+			if t0, ok := launched[k]; ok {
+				total += e.Time - t0
+				delete(launched, k)
+			}
 		case TaskFinish:
 			if t0, ok := launched[k]; ok {
 				total += e.Time - t0

@@ -75,6 +75,43 @@ func TestBusySlotSecondsAndUtilization(t *testing.T) {
 	}
 }
 
+// TestBusySlotSecondsRetryHeavy pins the attempt-pairing fix: a task whose
+// first attempt is killed by a fault occupies a slot twice — launch(0) to
+// the fault's TaskRetry(5), then the re-launch(7) to finish(10) — for 8
+// busy slot-seconds. The retry-blind implementation keyed launches only by
+// (app,job,stage,task), so the re-launch overwrote the first attempt and
+// its occupancy vanished (it reported 3.0 here: just 10−7).
+func TestBusySlotSecondsRetryHeavy(t *testing.T) {
+	r := NewRecorder()
+	evs := []Event{
+		{Time: 0, Kind: TaskLaunch, App: 0, Job: 1, Stage: 0, Task: 0, Exec: 3, Node: 1},
+		{Time: 5, Kind: TaskRetry, App: 0, Job: 1, Stage: 0, Task: 0, Exec: 3, Node: 1},
+		{Time: 7, Kind: TaskLaunch, App: 0, Job: 1, Stage: 0, Task: 0, Exec: 4, Node: 2},
+		{Time: 10, Kind: TaskFinish, App: 0, Job: 1, Stage: 0, Task: 0, Exec: 4, Node: 2},
+	}
+	for _, e := range evs {
+		r.Emit(e)
+	}
+	if got := r.BusySlotSeconds(); got != 8.0 {
+		t.Fatalf("busy slot seconds = %v, want 8 ([0,5] + [7,10]); retried attempt dropped", got)
+	}
+
+	// A re-launch with no intervening TaskRetry (the fault was observed
+	// only at re-queue time, or the attempt was speculatively replaced)
+	// must still bank the first attempt's elapsed occupancy.
+	r2 := NewRecorder()
+	for _, e := range []Event{
+		{Time: 1, Kind: TaskLaunch, App: 0, Job: 1, Stage: 0, Task: 0, Exec: 3, Node: 1},
+		{Time: 4, Kind: TaskLaunch, App: 0, Job: 1, Stage: 0, Task: 0, Exec: 4, Node: 2},
+		{Time: 6, Kind: TaskFinish, App: 0, Job: 1, Stage: 0, Task: 0, Exec: 4, Node: 2},
+	} {
+		r2.Emit(e)
+	}
+	if got := r2.BusySlotSeconds(); got != 5.0 {
+		t.Fatalf("busy slot seconds = %v, want 5 ([1,4] banked + [4,6])", got)
+	}
+}
+
 func TestWriteCSV(t *testing.T) {
 	r := NewRecorder()
 	load(r)
