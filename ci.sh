@@ -40,6 +40,41 @@ go test -race ./...
 echo "== chaos smoke (-race)"
 go test -race -count=1 -run TestChaosSmoke ./internal/chaos
 
+echo "== fuzz smoke"
+# Each target gets a short bounded run; go test accepts one fuzz target per
+# invocation. New corpus entries land in testdata/fuzz/ — commit them.
+go test -run='^$' -fuzz='^FuzzAllocateEquivalence$' -fuzztime=20s ./internal/core
+go test -run='^$' -fuzz='^FuzzAllocate$' -fuzztime=20s ./internal/core
+
+echo "== modelcheck mutation smoke"
+# Compile the seeded allocator bug (inverted fairness comparison, build tag
+# custodymutate) and require the model checker to catch it and shrink the
+# counterexample. Only the mutation test runs under the tag: the rest of
+# the suite is *expected* to fail with the bug compiled in.
+go test -count=1 -tags custodymutate -run '^TestMutationSmoke$' ./internal/modelcheck
+
+echo "== modelcheck sweep (custodysim)"
+# The long-run CLI entry on a clean build: a bounded seed sweep must come
+# back violation-free.
+go run ./cmd/custodysim -modelcheck -seeds 40 -mc-cmds 30
+
+echo "== coverage gate"
+# Combined statement coverage of the allocation stack (core + manager +
+# driver), gated against the committed floor (COVERAGE_FLOOR.txt, recorded
+# when the gate was introduced). Raise the floor when coverage improves;
+# never lower it to make CI pass.
+mkdir -p artifacts
+go test -count=1 -coverprofile=artifacts/coverage.out \
+    -coverpkg=./internal/core,./internal/manager,./internal/driver \
+    ./internal/core ./internal/manager ./internal/driver > /dev/null
+coverage=$(go tool cover -func=artifacts/coverage.out | awk '/^total:/ {gsub(/%/, "", $3); print $3}')
+floor=$(cat COVERAGE_FLOOR.txt)
+awk -v c="$coverage" -v f="$floor" 'BEGIN { exit !(c >= f) }' || {
+    echo "coverage gate: ${coverage}% < floor ${floor}% (COVERAGE_FLOOR.txt)"
+    exit 1
+}
+echo "coverage ${coverage}% >= floor ${floor}%"
+
 echo "== bench regression gate"
 # Fresh harness run (internal/benchreg) compared against the committed
 # baseline; fails on >15% regression in normalized time or allocs/op, or if

@@ -38,8 +38,22 @@ func main() {
 		explain  = flag.String("explain", "", "print the decision chain behind every grant of one job, as app.job (e.g. 0.5)")
 		obsvOut  = flag.String("obsv-out", "", "write decision-provenance artifacts to <prefix>.jsonl, <prefix>.csv, <prefix>.om")
 		verbose  = flag.Bool("v", false, "print per-workload breakdown")
+		mcMode   = flag.Bool("modelcheck", false, "run the model-based checker instead of a simulation")
+		mcSeeds  = flag.Int("seeds", 100, "modelcheck: number of seeds to sweep")
+		mcCmds   = flag.Int("mc-cmds", 40, "modelcheck: commands per seed")
+		mcOut    = flag.String("mc-out", "", "modelcheck: write the minimal reproducer to this .repro file on violation")
+		mcReplay = flag.String("mc-replay", "", "replay a serialized .repro file and exit")
 	)
 	flag.Parse()
+
+	if *mcReplay != "" {
+		runModelCheckReplay(*mcReplay)
+		return
+	}
+	if *mcMode {
+		runModelCheck(*mcSeeds, *mcCmds, *mcOut)
+		return
+	}
 
 	cfg := custody.Config{
 		Nodes:            *nodes,

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/modelcheck"
+)
+
+// runModelCheck is custodysim's long-run model-checking mode: sweep `seeds`
+// xrand seeds, each driving `cmds` randomized commands through the
+// allocation/driver state machine with the independent model watching. On
+// the first violation it shrinks to a minimal reproducer, prints the report
+// (commands, violations, decision-provenance chain), optionally writes a
+// .repro file, and exits nonzero.
+func runModelCheck(seeds, cmds int, out string) {
+	checked := 0
+	for seed := uint64(1); seed <= uint64(seeds); seed++ {
+		r := modelcheck.Check(seed, cmds)
+		checked++
+		if !r.Failed() {
+			continue
+		}
+		fmt.Printf("modelcheck: seed %d violated invariants; shrinking...\n", seed)
+		min := modelcheck.ShrinkResult(r)
+		if err := min.WriteReport(os.Stdout); err != nil {
+			log.Printf("custodysim: %v", err)
+		}
+		if out != "" {
+			repro := modelcheck.Repro{Seed: min.Seed, Commands: min.Commands}
+			if err := modelcheck.WriteRepro(out, repro); err != nil {
+				log.Printf("custodysim: %v", err)
+				os.Exit(1)
+			}
+			fmt.Printf("modelcheck: minimal reproducer written to %s (replay with -mc-replay %s)\n", out, out)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("modelcheck: %d seeds x %d commands, no invariant violations\n", checked, cmds)
+}
+
+// runModelCheckReplay replays a serialized .repro file and reports whether
+// the violation still reproduces (exit 1 if it does, 0 if it no longer
+// fails — e.g. after a fix).
+func runModelCheckReplay(path string) {
+	repro, err := modelcheck.ReadRepro(path)
+	if err != nil {
+		log.Printf("custodysim: %v", err)
+		os.Exit(1)
+	}
+	r := modelcheck.Run(repro.Seed, repro.Commands)
+	if err := r.WriteReport(os.Stdout); err != nil {
+		log.Printf("custodysim: %v", err)
+	}
+	if r.Failed() {
+		fmt.Println("modelcheck: reproducer still fails")
+		os.Exit(1)
+	}
+	fmt.Println("modelcheck: reproducer no longer fails")
+}

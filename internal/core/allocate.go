@@ -158,6 +158,9 @@ func (st *allocator) wants(a *appState) bool {
 func less(a, b *appState) bool {
 	pa, pb := a.pctLocalJobs(), b.pctLocalJobs()
 	if pa != pb {
+		if mutateInvertFairness {
+			return pa > pb // seeded bug: prefer the MOST-localized app
+		}
 		return pa < pb
 	}
 	ta, tb := a.pctLocalTasks(), b.pctLocalTasks()
@@ -176,6 +179,9 @@ func less(a, b *appState) bool {
 func heapLess(a, b *appState) bool {
 	pa, pb := a.pctJobsAt(a.keyJobs), b.pctJobsAt(b.keyJobs)
 	if pa != pb {
+		if mutateInvertFairness {
+			return pa > pb // seeded bug: prefer the MOST-localized app
+		}
 		return pa < pb
 	}
 	ta, tb := a.pctTasksAt(a.keyTasks), b.pctTasksAt(b.keyTasks)

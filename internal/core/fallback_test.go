@@ -39,6 +39,116 @@ func TestFallbackNodes(t *testing.T) {
 	}
 }
 
+// TestFallbackNodesEdgeCases pins the degradation ladder — usable replicas
+// → rack-local → any (nil) — at its boundary conditions: total replica
+// loss, an entire rack down, a single-node cluster, and blacklisting
+// layered on top of liveness.
+func TestFallbackNodesEdgeCases(t *testing.T) {
+	const nodes = 8
+	rackOf := func(n int) int { return n / 4 } // racks: 0-3, 4-7
+	only := func(ok ...int) func(int) bool {
+		u := map[int]bool{}
+		for _, n := range ok {
+			u[n] = true
+		}
+		return func(n int) bool { return u[n] }
+	}
+
+	cases := []struct {
+		name   string
+		locs   []int
+		usable func(int) bool
+		nodes  int
+		want   []int
+		rung   string // which ladder rung must produce the answer
+	}{
+		{
+			name: "all replicas dead, rack survivors take over",
+			locs: []int{1, 6}, usable: only(0, 2, 3, 4, 5, 7), nodes: nodes,
+			want: []int{0, 2, 3, 4, 5, 7}, rung: "rack-local",
+		},
+		{
+			name: "entire rack of the only replica dead",
+			locs: []int{2}, usable: only(4, 5, 6, 7), nodes: nodes,
+			want: nil, rung: "any",
+		},
+		{
+			name: "both racks entirely dead",
+			locs: []int{1, 5}, usable: only(), nodes: nodes,
+			want: nil, rung: "any",
+		},
+		{
+			name: "single-node cluster, node usable",
+			locs: []int{0}, usable: only(0), nodes: 1,
+			want: []int{0}, rung: "node-local",
+		},
+		{
+			name: "single-node cluster, node unusable",
+			locs: []int{0}, usable: only(), nodes: 1,
+			want: nil, rung: "any",
+		},
+		{
+			name: "replica blacklisted but alive rackmates remain",
+			locs: []int{1}, usable: only(0, 2, 3, 4, 5, 6, 7), nodes: nodes,
+			want: []int{0, 2, 3}, rung: "rack-local",
+		},
+		{
+			name: "one replica blacklisted, the other serves node-local",
+			locs: []int{1, 6}, usable: only(0, 2, 3, 4, 5, 6, 7), nodes: nodes,
+			want: []int{6}, rung: "node-local",
+		},
+		{
+			name: "stale out-of-range replica does not widen the rack set",
+			locs: []int{99, 1}, usable: only(0, 2, 3, 4, 5, 6, 7), nodes: nodes,
+			want: []int{0, 2, 3}, rung: "rack-local",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := FallbackNodes(tc.locs, tc.usable, rackOf, tc.nodes)
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("FallbackNodes = %v, want %v (%s rung)", got, tc.want, tc.rung)
+			}
+			switch tc.rung {
+			case "node-local":
+				// Every answer must be an advertised replica.
+				locs := map[int]bool{}
+				for _, n := range tc.locs {
+					locs[n] = true
+				}
+				for _, n := range got {
+					if !locs[n] {
+						t.Fatalf("node-local rung returned non-replica node %d", n)
+					}
+				}
+			case "rack-local":
+				// No answer may be a usable replica (that would be rung 1),
+				// and every answer must share a rack with some replica.
+				for _, n := range got {
+					for _, l := range tc.locs {
+						if n == l {
+							t.Fatalf("rack-local rung returned replica node %d", n)
+						}
+					}
+					shared := false
+					for _, l := range tc.locs {
+						if l >= 0 && l < tc.nodes && rackOf(l) == rackOf(n) {
+							shared = true
+						}
+					}
+					if !shared {
+						t.Fatalf("rack-local rung returned off-rack node %d", n)
+					}
+				}
+			case "any":
+				if got != nil {
+					t.Fatalf("any rung must return nil, got %v", got)
+				}
+			}
+		})
+	}
+}
+
 func TestFallbackNodesDeterministic(t *testing.T) {
 	rackOf := func(n int) int { return n % 3 }
 	usable := func(n int) bool { return n%2 == 0 }

@@ -1,0 +1,13 @@
+//go:build !custodymutate
+
+package core
+
+// mutateInvertFairness is the build-tag-gated seeded bug used by the
+// model-based checker's mutation smoke test (internal/modelcheck): when the
+// custodymutate tag is set, MINLOCALITY's job-locality comparison is
+// inverted, so Algorithm 1 picks the MOST-localized application first — a
+// direct violation of the fairness-key monotonicity invariant. In normal
+// builds the constant is false and the compiler eliminates the inverted
+// branch entirely, so tagged-off behavior is bit-identical to the
+// pre-mutation code.
+const mutateInvertFairness = false

@@ -1,0 +1,10 @@
+//go:build custodymutate
+
+package core
+
+// mutateInvertFairness: the seeded bug is live. See mutate_off.go for the
+// contract; internal/modelcheck's TestMutationSmoke must detect the
+// resulting fairness-key monotonicity violation and shrink it to a minimal
+// reproducer, proving the checker has teeth. Never set this tag in a
+// production build.
+const mutateInvertFairness = true

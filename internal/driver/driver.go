@@ -294,6 +294,12 @@ func (d *Driver) armWake() {
 	})
 }
 
+// Kick runs one dispatch pass outside the usual event callbacks: idle
+// executors are offered to their owners' schedulers until no more tasks
+// launch. The model-based checker (internal/modelcheck) calls it after
+// forcing an allocation round so granted executors pick up queued work.
+func (d *Driver) Kick() { d.dispatch() }
+
 // managerCall invokes a manager callback with re-entrancy protection.
 func (d *Driver) managerCall(fn func()) {
 	if d.inManager {

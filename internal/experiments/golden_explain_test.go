@@ -73,13 +73,7 @@ func TestGoldenExplain(t *testing.T) {
 
 	path := filepath.Join("testdata", "golden", "explain-sort-custody.txt")
 	if *updateGolden {
-		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
-			t.Fatal(err)
-		}
-		t.Logf("updated %s (%d bytes)", path, buf.Len())
+		blessGolden(t, path, buf.Bytes())
 		return
 	}
 	want, err := os.ReadFile(path)

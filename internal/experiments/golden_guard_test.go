@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// blessGolden rewrites one golden fixture under testdata/golden. Blessing
+// is a deliberate local act — running `-update` in CI would silently
+// overwrite the very fixtures the pipeline is supposed to check against —
+// so it refuses outright when CI=true.
+func blessGolden(t *testing.T, path string, data []byte) {
+	t.Helper()
+	if err := blessGoldenErr(path, data); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("updated %s (%d bytes)", path, len(data))
+}
+
+// blessGoldenErr is the testable core of blessGolden.
+func blessGoldenErr(path string, data []byte) error {
+	if os.Getenv("CI") == "true" {
+		return fmt.Errorf("refusing to bless golden %s: -update must not run under CI=true; regenerate locally and commit the diff", path)
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// TestBlessGoldenRefusesInCI pins the guard: with CI=true the bless helper
+// must refuse and must not touch the target file.
+func TestBlessGoldenRefusesInCI(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "golden", "fixture.txt")
+
+	t.Setenv("CI", "true")
+	err := blessGoldenErr(path, []byte("overwrite attempt"))
+	if err == nil {
+		t.Fatal("blessGoldenErr wrote a golden fixture with CI=true")
+	}
+	if !strings.Contains(err.Error(), "CI") {
+		t.Fatalf("refusal should name the CI guard, got: %v", err)
+	}
+	if _, statErr := os.Stat(path); !os.IsNotExist(statErr) {
+		t.Fatalf("refused bless still created %s", path)
+	}
+
+	t.Setenv("CI", "false")
+	if err := blessGoldenErr(path, []byte("local bless")); err != nil {
+		t.Fatalf("local bless failed: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "local bless" {
+		t.Fatalf("local bless wrote %q, %v", got, err)
+	}
+}

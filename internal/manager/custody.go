@@ -98,6 +98,12 @@ func (c *Custody) OnExecutorRecover(env Env, execID int) {
 	c.reallocate(env)
 }
 
+// Reallocate forces one full allocation round outside the usual event
+// callbacks. The model-based checker (internal/modelcheck) uses it to drive
+// rounds at arbitrary points in a command sequence; it is equivalent to the
+// round every On* callback triggers.
+func (c *Custody) Reallocate(env Env) { c.reallocate(env) }
+
 // reallocate snapshots demand, reclaims useless idle executors, and applies
 // Algorithms 1+2.
 func (c *Custody) reallocate(env Env) {

@@ -1,0 +1,271 @@
+package modelcheck
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/hdfs"
+	"repro/internal/trace"
+)
+
+// modelExec is the model's view of one executor: ownership and liveness
+// reconstructed purely from trace events, independent of the cluster
+// substrate's own bookkeeping.
+type modelExec struct {
+	node  int
+	slots int
+	owner int // app ID, -1 when free
+	dead  bool
+}
+
+// taskKey identifies a task attempt slot in the model's ledger.
+type taskKey struct{ app, job, stage, task int }
+
+// Model is the checker's independent state machine. It implements
+// trace.Tracer: the driver feeds it every state transition, and the model
+// replays the transitions against its own ledger, reporting a violation
+// whenever an event is impossible under the rules it believes hold. It
+// never reads driver or cluster state while consuming events; the live
+// state is only consulted in Compare, the explicit cross-check.
+type Model struct {
+	execs    []modelExec
+	nodeDead map[int]bool
+	flaky    map[int]bool // suspended DataNodes
+	stale    bool         // a stale-metadata window is open
+
+	appJobs   map[int]map[int]bool // app → submitted, unfinished jobs
+	finished  map[int]int          // app → finished job count
+	launched  map[taskKey]int      // live attempts per task
+	taskDone  map[taskKey]bool
+	doneCount int
+
+	report func(rule, detail string, app, job int)
+}
+
+// newModel builds the model for a static cluster topology.
+func newModel(cl *cluster.Cluster, report func(rule, detail string, app, job int)) *Model {
+	m := &Model{
+		nodeDead: map[int]bool{},
+		flaky:    map[int]bool{},
+		appJobs:  map[int]map[int]bool{},
+		finished: map[int]int{},
+		launched: map[taskKey]int{},
+		taskDone: map[taskKey]bool{},
+		report:   report,
+	}
+	for _, e := range cl.Executors() {
+		m.execs = append(m.execs, modelExec{node: e.Node.ID, slots: e.Slots(), owner: -1})
+	}
+	return m
+}
+
+func (m *Model) fail(rule, format string, args ...any) {
+	m.report(rule, fmt.Sprintf(format, args...), -1, -1)
+}
+
+// Emit implements trace.Tracer: advance the model by one observed event.
+func (m *Model) Emit(ev trace.Event) {
+	switch ev.Kind {
+	case trace.ExecAlloc:
+		e := &m.execs[ev.Exec]
+		if e.dead {
+			m.fail("double-grant", "exec %d allocated to app %d while model believes it dead", ev.Exec, ev.App)
+		} else if e.owner >= 0 && e.owner != ev.App {
+			m.fail("double-grant", "exec %d allocated to app %d while model believes app %d owns it", ev.Exec, ev.App, e.owner)
+		}
+		e.owner = ev.App
+	case trace.ExecRelease:
+		e := &m.execs[ev.Exec]
+		if e.owner < 0 {
+			m.fail("slot-ledger", "exec %d released while model believes it free", ev.Exec)
+		}
+		e.owner = -1
+	case trace.ExecFail:
+		e := &m.execs[ev.Exec]
+		if e.dead {
+			m.fail("slot-ledger", "exec %d failed twice without recovery", ev.Exec)
+		}
+		e.dead, e.owner = true, -1
+	case trace.ExecRecover:
+		e := &m.execs[ev.Exec]
+		if !e.dead {
+			m.fail("slot-ledger", "exec %d recovered while model believes it alive", ev.Exec)
+		}
+		e.dead = false
+	case trace.NodeFail:
+		if m.nodeDead[ev.Node] {
+			m.fail("replica-map", "node %d failed twice without recovery", ev.Node)
+		}
+		m.nodeDead[ev.Node] = true
+		for i := range m.execs {
+			if m.execs[i].node == ev.Node {
+				m.execs[i].dead, m.execs[i].owner = true, -1
+			}
+		}
+	case trace.NodeRecover:
+		if !m.nodeDead[ev.Node] {
+			m.fail("replica-map", "node %d recovered while model believes it alive", ev.Node)
+		}
+		delete(m.nodeDead, ev.Node)
+		for i := range m.execs {
+			if m.execs[i].node == ev.Node {
+				m.execs[i].dead = false
+			}
+		}
+	case trace.DataNodeFlake:
+		m.flaky[ev.Node] = true
+	case trace.DataNodeResume:
+		delete(m.flaky, ev.Node)
+	case trace.MetaStale:
+		m.stale = true
+	case trace.MetaFresh:
+		m.stale = false
+	case trace.JobSubmit:
+		if m.appJobs[ev.App] == nil {
+			m.appJobs[ev.App] = map[int]bool{}
+		}
+		if m.appJobs[ev.App][ev.Job] {
+			m.fail("demand-ledger", "app %d job %d submitted twice", ev.App, ev.Job)
+		}
+		m.appJobs[ev.App][ev.Job] = true
+	case trace.JobFinish:
+		if !m.appJobs[ev.App][ev.Job] {
+			m.fail("demand-ledger", "app %d job %d finished but model never saw it submitted", ev.App, ev.Job)
+		}
+		delete(m.appJobs[ev.App], ev.Job)
+		m.finished[ev.App]++
+	case trace.TaskLaunch:
+		k := taskKey{ev.App, ev.Job, ev.Stage, ev.Task}
+		if m.taskDone[k] {
+			m.fail("demand-ledger", "task %v launched after it finished", k)
+		}
+		e := &m.execs[ev.Exec]
+		if e.dead {
+			m.fail("slot-ledger", "task %v launched on dead exec %d", k, ev.Exec)
+		}
+		if e.owner != ev.App {
+			m.fail("slot-ledger", "task %v of app %d launched on exec %d owned by %d", k, ev.App, ev.Exec, e.owner)
+		}
+		m.launched[k]++
+	case trace.TaskFinish:
+		k := taskKey{ev.App, ev.Job, ev.Stage, ev.Task}
+		if m.launched[k] == 0 {
+			m.fail("demand-ledger", "task %v finished with no live attempt in the model", k)
+		} else {
+			m.launched[k]--
+		}
+		if m.taskDone[k] {
+			m.fail("demand-ledger", "task %v finished twice", k)
+		}
+		m.taskDone[k] = true
+		m.doneCount++
+	case trace.TaskRetry:
+		// Emitted at fault time: the attempt's slot was reclaimed. Attempts
+		// may already be gone from the ledger when the executor died first
+		// (ExecFail/NodeFail clear ownership, not attempts), so only drain.
+		k := taskKey{ev.App, ev.Job, ev.Stage, ev.Task}
+		if m.launched[k] > 0 {
+			m.launched[k]--
+		}
+	}
+}
+
+// Compare cross-checks the model's executor ledger against the live
+// cluster: ownership and liveness must agree executor by executor, running
+// tasks must fit in slots, and the free/owned partition must conserve the
+// total (slot conservation).
+func (m *Model) Compare(cl *cluster.Cluster) {
+	free, owned := 0, 0
+	for i, me := range m.execs {
+		e := cl.Executor(i)
+		if me.dead == e.Alive() {
+			m.fail("slot-ledger", "exec %d: model dead=%v, cluster alive=%v", i, me.dead, e.Alive())
+		}
+		liveOwner := -1
+		if e.Owner() != cluster.NoApp {
+			liveOwner = int(e.Owner())
+		}
+		if me.owner != liveOwner {
+			m.fail("slot-ledger", "exec %d: model owner=%d, cluster owner=%d", i, me.owner, liveOwner)
+		}
+		if e.Running() > e.Slots() || e.Running() < 0 {
+			m.fail("slot-conservation", "exec %d: running=%d outside [0,%d]", i, e.Running(), e.Slots())
+		}
+		if me.dead {
+			continue
+		}
+		if me.owner < 0 {
+			free++
+		} else {
+			owned++
+		}
+	}
+	alive := 0
+	for _, e := range cl.Executors() {
+		if e.Alive() {
+			alive++
+		}
+	}
+	if free+owned != alive {
+		m.fail("slot-conservation", "model partitions %d free + %d owned != %d alive executors", free, owned, alive)
+	}
+}
+
+// CheckReplicaMap verifies that, while no stale-metadata window is open,
+// the NameNode's advertised locations for every tracked block exclude the
+// nodes the model knows are dead or flaky.
+func (m *Model) CheckReplicaMap(nn *hdfs.NameNode, files []*hdfs.File) {
+	if m.stale {
+		return // stale answers are allowed to be wrong; that is the fault
+	}
+	for _, f := range files {
+		for _, b := range f.Blocks {
+			for _, n := range nn.Locations(b.ID) {
+				if m.nodeDead[n] {
+					m.fail("replica-map", "block %d advertised on node %d the model believes failed", b.ID, n)
+				}
+				if m.flaky[n] {
+					m.fail("replica-map", "block %d advertised on flaky DataNode %d", b.ID, n)
+				}
+			}
+		}
+	}
+}
+
+// UnfinishedJobs returns the model's total count of submitted, unfinished
+// jobs (used by the digest).
+func (m *Model) UnfinishedJobs() int {
+	n := 0
+	for _, jobs := range m.appJobs {
+		n += len(jobs)
+	}
+	return n
+}
+
+// digestLines renders the model's final state as stable sorted lines for
+// the determinism digest.
+func (m *Model) digestLines() []string {
+	var lines []string
+	for i, e := range m.execs {
+		lines = append(lines, fmt.Sprintf("exec %d owner=%d dead=%v", i, e.owner, e.dead))
+	}
+	var nodes []int
+	for n := range m.nodeDead {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+	for _, n := range nodes {
+		lines = append(lines, fmt.Sprintf("node-dead %d", n))
+	}
+	var apps []int
+	for a := range m.finished {
+		apps = append(apps, a)
+	}
+	sort.Ints(apps)
+	for _, a := range apps {
+		lines = append(lines, fmt.Sprintf("app %d finished=%d", a, m.finished[a]))
+	}
+	lines = append(lines, fmt.Sprintf("tasks-done %d unfinished-jobs %d stale=%v", m.doneCount, m.UnfinishedJobs(), m.stale))
+	return lines
+}

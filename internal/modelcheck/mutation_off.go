@@ -1,0 +1,8 @@
+//go:build !custodymutate
+
+package modelcheck
+
+// mutationEnabled mirrors internal/core's custodymutate build tag so the
+// mutation smoke test can live in an always-compiled file and skip itself
+// when the seeded bug is not compiled in.
+const mutationEnabled = false

@@ -1,0 +1,7 @@
+//go:build custodymutate
+
+package modelcheck
+
+// mutationEnabled mirrors internal/core's custodymutate build tag; see
+// mutation_off.go.
+const mutationEnabled = true

@@ -1,0 +1,152 @@
+package modelcheck
+
+import (
+	"fmt"
+
+	"repro/internal/obsv"
+)
+
+// keyLess orders fairness keys lexicographically over (Jobs, Tasks) — the
+// comparison MINLOCALITY uses, minus the app-ID tie-break.
+func keyLess(a, b obsv.Key) bool {
+	if a.Jobs != b.Jobs {
+		return a.Jobs < b.Jobs
+	}
+	return a.Tasks < b.Tasks
+}
+
+// checkObserver tees allocation provenance: every Decision and Grant is
+// checked against the round invariants and then forwarded to the hub (so
+// the -explain chain stays available for violation reports).
+//
+// Invariants:
+//
+//   - fairness-monotone: within one round, the locality-phase decision keys
+//     are lexicographically non-decreasing. Sound because an app's fairness
+//     counters only grow within a round, so the minimum over the wanting
+//     set is non-decreasing over successive picks.
+//   - fill-monotone: the fill phase freezes keys and sorts ascending, so
+//     its emitted decision keys are non-decreasing too.
+//   - runner-up-order: a pick's chosen key is never lexicographically
+//     greater than the runner-up it beat (it was the heap minimum).
+//   - grant-follow: every grant belongs to the round's latest decision and
+//     carries that decision's app.
+//   - round-double-grant: within one round, an executor's slots go to a
+//     single application and never more than its slot count.
+//   - job-ordering (Algorithm 2): within one pick, all grants of a job are
+//     issued before the next job — a served job never reappears.
+type checkObserver struct {
+	hub    obsv.AllocObserver // may be nil
+	slots  []int              // executor ID → slot count
+	report func(rule, detail string, app, job int)
+
+	rounds     int
+	haveLoc    bool
+	lastLoc    obsv.Key
+	haveFill   bool
+	lastFill   obsv.Key
+	haveDec    bool
+	dec        obsv.Decision
+	grantApp   map[int]int // exec → app granted this round
+	grantCount map[int]int // exec → slots granted this round
+	pickJobs   []int       // jobs served under the current decision, in order
+
+	decisions int
+	grants    int
+}
+
+func newCheckObserver(slots []int, hub obsv.AllocObserver, report func(rule, detail string, app, job int)) *checkObserver {
+	return &checkObserver{
+		hub:        hub,
+		slots:      slots,
+		report:     report,
+		grantApp:   map[int]int{},
+		grantCount: map[int]int{},
+	}
+}
+
+// fail reports one violation; app/job give the -explain anchor (-1 unknown).
+func (o *checkObserver) fail(rule string, app, job int, format string, args ...any) {
+	o.report(rule, fmt.Sprintf(format, args...), app, job)
+}
+
+// BeginRound implements obsv.AllocObserver.
+func (o *checkObserver) BeginRound(apps, execs int) {
+	o.rounds++
+	o.haveLoc, o.haveFill, o.haveDec = false, false, false
+	for k := range o.grantApp {
+		delete(o.grantApp, k)
+	}
+	for k := range o.grantCount {
+		delete(o.grantCount, k)
+	}
+	o.pickJobs = o.pickJobs[:0]
+	if o.hub != nil {
+		o.hub.BeginRound(apps, execs)
+	}
+}
+
+// Decide implements obsv.AllocObserver.
+func (o *checkObserver) Decide(d obsv.Decision) {
+	o.decisions++
+	if d.Key.Jobs < 0 || d.Key.Jobs > 1 || d.Key.Tasks < 0 || d.Key.Tasks > 1 {
+		o.fail("key-range", d.App, d.Job, "decision for app %d has key %s outside [0,1]", d.App, d.Key)
+	}
+	switch d.Phase {
+	case obsv.PhaseLocality:
+		if o.haveLoc && keyLess(d.Key, o.lastLoc) {
+			o.fail("fairness-monotone", d.App, d.Job, "locality pick of app %d (job %d) at key %s after key %s in the same round",
+				d.App, d.Job, d.Key, o.lastLoc)
+		}
+		o.haveLoc, o.lastLoc = true, d.Key
+	case obsv.PhaseFill:
+		if o.haveFill && keyLess(d.Key, o.lastFill) {
+			o.fail("fill-monotone", d.App, d.Job, "fill pick of app %d at key %s after key %s in the same round",
+				d.App, d.Key, o.lastFill)
+		}
+		o.haveFill, o.lastFill = true, d.Key
+	}
+	if d.RunnerUp >= 0 && keyLess(d.RunnerUpKey, d.Key) {
+		o.fail("runner-up-order", d.App, d.Job, "app %d picked at key %s over runner-up app %d with smaller key %s",
+			d.App, d.Key, d.RunnerUp, d.RunnerUpKey)
+	}
+	o.haveDec, o.dec = true, d
+	o.pickJobs = o.pickJobs[:0]
+	if o.hub != nil {
+		o.hub.Decide(d)
+	}
+}
+
+// Grant implements obsv.AllocObserver.
+func (o *checkObserver) Grant(g obsv.Grant) {
+	o.grants++
+	if !o.haveDec {
+		o.fail("grant-follow", g.App, g.Job, "grant of exec %d to app %d with no decision in this round", g.Exec, g.App)
+	} else if g.App != o.dec.App {
+		o.fail("grant-follow", g.App, g.Job, "grant of exec %d to app %d under a decision for app %d", g.Exec, g.App, o.dec.App)
+	}
+	if prev, ok := o.grantApp[g.Exec]; ok && prev != g.App {
+		o.fail("round-double-grant", g.App, g.Job, "exec %d granted to app %d and app %d in the same round", g.Exec, prev, g.App)
+	}
+	o.grantApp[g.Exec] = g.App
+	o.grantCount[g.Exec]++
+	if g.Exec >= 0 && g.Exec < len(o.slots) && o.grantCount[g.Exec] > o.slots[g.Exec] {
+		o.fail("round-double-grant", g.App, g.Job, "exec %d granted %d slots, has %d", g.Exec, o.grantCount[g.Exec], o.slots[g.Exec])
+	}
+	if g.Job >= 0 {
+		n := len(o.pickJobs)
+		if n == 0 || o.pickJobs[n-1] != g.Job {
+			for _, served := range o.pickJobs {
+				if served == g.Job {
+					o.fail("job-ordering", g.App, g.Job, "pick for app %d returned to job %d after serving later jobs (Algorithm 2 orders all tasks of a job before the next)",
+						g.App, g.Job)
+					break
+				}
+			}
+			o.pickJobs = append(o.pickJobs, g.Job)
+		}
+	}
+	if o.hub != nil {
+		o.hub.Grant(g)
+	}
+}
