@@ -4,8 +4,9 @@
 # Order matters: formatting and static analysis run before the build so a
 # contract violation fails fast with a precise diagnostic instead of a test
 # log. custodylint (cmd/custodylint) enforces the project invariants
-# documented in DESIGN.md: determinism (detrand, maporder), layering, and
-# error-handling (errdrop).
+# documented in DESIGN.md: determinism (detrand, maporder), layering,
+# error-handling (errdrop), concurrency safety (guardedby, lockorder,
+# goroutine, atomicmix), and hot-path allocation (noalloc).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -21,11 +22,40 @@ echo "== go vet"
 go vet ./...
 
 echo "== custodylint"
-go run ./cmd/custodylint ./...
+# Build the lint binary once and reuse it below; the full suite (including
+# the module-wide lock graph and annotation indices) must stay fast enough
+# to run on every push, so the self-lint is held under a 60s wall-clock
+# budget.
+mkdir -p artifacts
+go build -o artifacts/custodylint ./cmd/custodylint
+lint_start=$(date +%s)
+artifacts/custodylint -json > artifacts/custodylint.json || {
+    echo "custodylint findings:"
+    cat artifacts/custodylint.json
+    exit 1
+}
+lint_elapsed=$(( $(date +%s) - lint_start ))
+echo "custodylint clean in ${lint_elapsed}s (JSON artifact: artifacts/custodylint.json)"
+if [ "$lint_elapsed" -ge 60 ]; then
+    echo "custodylint took ${lint_elapsed}s, over the 60s budget; profile the analyzers"
+    exit 1
+fi
+
+echo "== custodylint lockreport determinism"
+# The blessed-order report must be byte-identical across runs: CI diffs
+# three consecutive renders.
+artifacts/custodylint -lockreport > artifacts/lockreport.txt
+for i in 1 2; do
+    artifacts/custodylint -lockreport > /tmp/custody_lockreport_again.txt
+    cmp -s artifacts/lockreport.txt /tmp/custody_lockreport_again.txt || {
+        echo "custodylint -lockreport output differs between runs (run $i)"
+        exit 1
+    }
+done
 
 echo "== custodylint negative fixtures"
 for d in internal/analysis/testdata/src/*_bad; do
-    if go run ./cmd/custodylint -root "$d" -modpath fixture >/dev/null 2>&1; then
+    if artifacts/custodylint -root "$d" -modpath fixture >/dev/null 2>&1; then
         echo "custodylint unexpectedly exited 0 on negative fixture $d"
         exit 1
     fi

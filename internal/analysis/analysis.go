@@ -1,21 +1,41 @@
 // Package analysis implements custodylint, the project-specific static
 // checks that keep the reproduction honest: determinism of the allocator
-// hot paths, the package layering DAG, and error-handling hygiene. The
-// checks are built on the standard library only (go/ast, go/parser,
-// go/types) so the module keeps zero external dependencies.
+// hot paths, the package layering DAG, error-handling hygiene, and the
+// concurrency-safety and allocation contracts that gate the sharded
+// allocator. The checks are built on the standard library only (go/ast,
+// go/parser, go/types) so the module keeps zero external dependencies.
 //
-// Four analyzers are provided (see All):
+// Nine analyzers are provided (see All):
 //
-//   - detrand: no ambient nondeterminism (math/rand, time.Now, os.Getenv)
-//     inside internal/ outside internal/xrand — seeded randomness must flow
-//     in explicitly.
+//   - detrand: no ambient nondeterminism (math/rand, time.Now/Since and
+//     the timer constructors, os.Getenv, os.Getpid) inside internal/
+//     outside internal/xrand — seeded randomness, clocks, and
+//     configuration must flow in explicitly.
 //   - maporder: no ordering-sensitive work (appends, output, channel sends)
 //     fed directly from map iteration unless the result is sorted in the
 //     same function or the loop is annotated //custody:ordered.
 //   - layering: the leaf layers (core, matching, maxflow, netsim, xrand)
 //     must not import the orchestration layers (driver, experiments, sim,
 //     manager) or cmd/*.
-//   - errdrop: no silently discarded error returns outside tests.
+//   - errdrop: no silently discarded error returns outside tests — neither
+//     `_ =` assignments, `var _ =` declarations, nor bare call statements.
+//   - guardedby: fields annotated //custody:guardedby <mutexField> may only
+//     be accessed inside a lexical Lock/Unlock (or RLock/RUnlock) span of
+//     the named sibling mutex, or in a method annotated
+//     //custody:holds <mutexField>.
+//   - lockorder: the module-wide mutex acquisition graph must stay acyclic;
+//     the blessed (deterministic topological) order is rendered by
+//     LockOrderReport and `custodylint -lockreport`.
+//   - goroutine: `go` statements must not capture loop variables, mutable
+//     package state, or unguarded struct fields, and single-threaded leaf
+//     packages (internal/core, internal/event, internal/obsv) stay free of
+//     goroutines and channel operations entirely.
+//   - noalloc: functions annotated //custody:noalloc must not contain
+//     allocating constructs (append, make/new, composite and function
+//     literals, string concatenation, interface boxing, fmt, go/defer) and
+//     may only call other noalloc functions — the contract is transitive.
+//   - atomicmix: state accessed through sync/atomic anywhere must be
+//     accessed atomically everywhere.
 //
 // A finding can be suppressed with a trailing comment, or one on the line
 // above, of the form
@@ -23,7 +43,13 @@
 //	//custody:ignore <rule> <reason>
 //
 // where the reason is mandatory: suppressions without a reason are
-// themselves diagnostics (rule "ignore").
+// themselves diagnostics (rule "ignore"). One comment may carry several
+// suppressions by repeating the custody:ignore marker.
+//
+// The full annotation vocabulary is //custody:guardedby, //custody:holds,
+// //custody:noalloc, //custody:ordered, and //custody:ignore; malformed
+// guardedby/holds/noalloc annotations are diagnostics in their own right,
+// so annotations cannot rot silently.
 package analysis
 
 import (
@@ -57,16 +83,28 @@ type Analyzer interface {
 	Run(m *Module, pkg *Package) []Diagnostic
 }
 
-// All returns the full custodylint rule set.
+// All returns the full custodylint rule set: the PR-1 determinism/layering/
+// error-handling suite plus the concurrency-safety and performance-contract
+// suite (guardedby, lockorder, goroutine, noalloc, atomicmix) that gates
+// the sharded-allocator transition.
 func All() []Analyzer {
-	return []Analyzer{DetRand{}, MapOrder{}, Layering{}, ErrDrop{}}
+	return []Analyzer{
+		DetRand{}, MapOrder{}, Layering{}, ErrDrop{},
+		GuardedBy{}, LockOrder{}, Goroutine{}, NoAlloc{}, AtomicMix{},
+	}
 }
 
 // Run executes the analyzers over every package of the module, applies
 // //custody:ignore suppressions, and returns the surviving diagnostics
 // sorted by position.
 func Run(m *Module, analyzers []Analyzer) []Diagnostic {
+	// The suppression vocabulary is always the full rule set: running a
+	// filtered subset (custodylint -rule) must not turn suppressions of the
+	// other rules into "unknown rule" diagnostics.
 	known := map[string]bool{"ordered": true}
+	for _, a := range All() {
+		known[a.Name()] = true
+	}
 	for _, a := range analyzers {
 		known[a.Name()] = true
 	}
@@ -145,26 +183,30 @@ func parseDirectives(fset *token.FileSet, f *ast.File, known map[string]bool) ([
 			pos := fset.Position(c.Pos())
 			switch {
 			case strings.HasPrefix(text, "custody:ignore"):
-				rest := strings.TrimPrefix(text, "custody:ignore")
-				fields := strings.Fields(rest)
-				if len(fields) == 0 {
-					bad = append(bad, Diagnostic{Pos: pos, Rule: "ignore",
-						Message: "custody:ignore needs a rule and a reason: //custody:ignore <rule> <reason>"})
-					continue
+				// One comment may carry several suppressions:
+				//   //custody:ignore errdrop io best-effort custody:ignore detrand clock label
+				// Each "custody:ignore" introduces a new <rule> <reason> pair.
+				for _, rest := range strings.Split(text, "custody:ignore")[1:] {
+					fields := strings.Fields(rest)
+					if len(fields) == 0 {
+						bad = append(bad, Diagnostic{Pos: pos, Rule: "ignore",
+							Message: "custody:ignore needs a rule and a reason: //custody:ignore <rule> <reason>"})
+						continue
+					}
+					rule := fields[0]
+					if !known[rule] {
+						bad = append(bad, Diagnostic{Pos: pos, Rule: "ignore",
+							Message: fmt.Sprintf("custody:ignore names unknown rule %q", rule)})
+						continue
+					}
+					reason := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), rule))
+					if reason == "" {
+						bad = append(bad, Diagnostic{Pos: pos, Rule: "ignore",
+							Message: fmt.Sprintf("custody:ignore %s needs a reason: //custody:ignore %s <reason>", rule, rule)})
+						continue
+					}
+					dirs = append(dirs, directive{kind: "ignore", rule: rule, reason: reason, line: pos.Line, pos: c.Pos()})
 				}
-				rule := fields[0]
-				if !known[rule] {
-					bad = append(bad, Diagnostic{Pos: pos, Rule: "ignore",
-						Message: fmt.Sprintf("custody:ignore names unknown rule %q", rule)})
-					continue
-				}
-				reason := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), rule))
-				if reason == "" {
-					bad = append(bad, Diagnostic{Pos: pos, Rule: "ignore",
-						Message: fmt.Sprintf("custody:ignore %s needs a reason: //custody:ignore %s <reason>", rule, rule)})
-					continue
-				}
-				dirs = append(dirs, directive{kind: "ignore", rule: rule, reason: reason, line: pos.Line, pos: c.Pos()})
 			case strings.HasPrefix(text, "custody:ordered"):
 				reason := strings.TrimSpace(strings.TrimPrefix(text, "custody:ordered"))
 				dirs = append(dirs, directive{kind: "ordered", reason: reason, line: pos.Line, pos: c.Pos()})

@@ -83,11 +83,14 @@ func TestFixtures(t *testing.T) {
 	}
 }
 
-// TestRuleCoverage pins the acceptance criterion directly: each of the four
+// TestRuleCoverage pins the acceptance criterion directly: each of the nine
 // rules has a fixture where it fires and a sibling fixture that stays
 // clean.
 func TestRuleCoverage(t *testing.T) {
-	for _, rule := range []string{"detrand", "maporder", "layering", "errdrop"} {
+	for _, rule := range []string{
+		"detrand", "maporder", "layering", "errdrop",
+		"guardedby", "lockorder", "goroutine", "noalloc", "atomicmix",
+	} {
 		t.Run(rule, func(t *testing.T) {
 			bad := filepath.Join("testdata/src", rule+"_bad")
 			fired := false
@@ -127,6 +130,119 @@ func TestSuppressionRequiresReason(t *testing.T) {
 	clean := loadFixture(t, filepath.Join("testdata/src", "errdrop_clean"))
 	if len(clean) != 0 {
 		t.Errorf("reasoned suppression failed to silence findings: %v", render(clean))
+	}
+}
+
+// TestSuppressionEdgeCases pins the corners of //custody:ignore parsing
+// against the suppress_bad fixture: trailing and line-above placement both
+// work, one comment can carry several suppressions, and unknown rules,
+// missing reasons, and bare ignores are each reported without silencing
+// the underlying finding.
+func TestSuppressionEdgeCases(t *testing.T) {
+	diags := loadFixture(t, filepath.Join("testdata/src", "suppress_bad"))
+
+	var ignores, errdrops, detrands int
+	for _, d := range diags {
+		switch d.Rule {
+		case "ignore":
+			ignores++
+		case "errdrop":
+			errdrops++
+		case "detrand":
+			detrands++
+		}
+	}
+	// Three malformed segments: unknown rule, missing reason, bare ignore.
+	if ignores != 3 {
+		t.Errorf("expected 3 [ignore] diagnostics, got %d:\n  %s", ignores, strings.Join(render(diags), "\n  "))
+	}
+	// Each malformed segment fails to suppress its errdrop finding.
+	if errdrops != 3 {
+		t.Errorf("expected 3 surviving [errdrop] findings, got %d:\n  %s", errdrops, strings.Join(render(diags), "\n  "))
+	}
+	// Every detrand finding is covered by a well-formed segment — including
+	// the one sharing a comment with a malformed segment, and the
+	// line-above comment carrying two suppressions at once.
+	if detrands != 0 {
+		t.Errorf("expected all detrand findings suppressed, got %d:\n  %s", detrands, strings.Join(render(diags), "\n  "))
+	}
+}
+
+// TestLockOrderReportDeterministic pins the -lockreport contract: three
+// independent loads of the same module render byte-identical reports, and
+// the report names the blessed acquisition order.
+func TestLockOrderReportDeterministic(t *testing.T) {
+	dir := filepath.Join("testdata/src", "lockorder_clean")
+	var first string
+	for i := 0; i < 3; i++ {
+		m, err := analysis.Load(dir, "fixture")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := analysis.LockOrderReport(m)
+		if i == 0 {
+			first = got
+			continue
+		}
+		if got != first {
+			t.Fatalf("report differs between runs:\n--- run 0 ---\n%s--- run %d ---\n%s", first, i, got)
+		}
+	}
+	for _, want := range []string{
+		"lockorder: 3 mutex(es)",
+		"Broker.state -> Broker.queue",
+		"blessed acquisition order:",
+		"1. Broker.state",
+	} {
+		if !strings.Contains(first, want) {
+			t.Errorf("report missing %q:\n%s", want, first)
+		}
+	}
+	if strings.Contains(first, "cycle") {
+		t.Errorf("clean fixture reported a cycle:\n%s", first)
+	}
+}
+
+// TestNoAllocHotPathsAnnotated pins that the static //custody:noalloc
+// contract covers the paths the dynamic allocation gates cover: the flight
+// recorder's record path (TestRecordingDoesNotAllocate) and the allocator's
+// pick/update chain (the benchreg allocs/op gate).
+func TestNoAllocHotPathsAnnotated(t *testing.T) {
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := analysis.LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, name := range m.NoAllocFuncs() {
+		got[name] = true
+	}
+	for _, want := range []string{
+		// obsv record path.
+		"internal/obsv.FlightRecorder.BeginRound",
+		"internal/obsv.FlightRecorder.Decide",
+		"internal/obsv.FlightRecorder.Grant",
+		"internal/obsv.FlightRecorder.pushDecision",
+		"internal/obsv.FlightRecorder.pushGrant",
+		// core pick/update chain.
+		"internal/core.allocator.run",
+		"internal/core.allocator.assign",
+		"internal/core.allocator.emitPick",
+		"internal/core.allocator.minLocality",
+		"internal/core.execPool.takeSlot",
+		"internal/core.execPool.takeAny",
+		"internal/core.execPool.takeOnAny",
+		// event heap.
+		"internal/event.Engine.push",
+		"internal/event.Engine.popRoot",
+		"internal/event.Engine.siftDown",
+	} {
+		if !got[want] {
+			t.Errorf("hot-path function %s is not annotated //custody:noalloc (have: %v)", want, m.NoAllocFuncs())
+		}
 	}
 }
 

@@ -20,8 +20,8 @@ func (DetRand) Name() string { return "detrand" }
 
 // Doc implements Analyzer.
 func (DetRand) Doc() string {
-	return "forbid math/rand, time.Now, and os.Getenv inside internal/ (outside internal/xrand); " +
-		"seeded randomness must be injected explicitly via internal/xrand"
+	return "forbid math/rand, time.Now/Since/After/NewTimer, os.Getenv, and os.Getpid inside internal/ " +
+		"(outside internal/xrand); seeded randomness must be injected explicitly via internal/xrand"
 }
 
 // Run implements Analyzer.
@@ -62,8 +62,14 @@ func (DetRand) Run(m *Module, pkg *Package) []Diagnostic {
 			switch {
 			case path == "time" && sel.Sel.Name == "Now":
 				msg = "time.Now in internal code makes runs irreproducible; take the timestamp or a clock as a parameter"
+			case path == "time" && sel.Sel.Name == "Since":
+				msg = "time.Since reads the wall clock; take durations or a clock as a parameter"
+			case path == "time" && (sel.Sel.Name == "After" || sel.Sel.Name == "NewTimer" || sel.Sel.Name == "Tick" || sel.Sel.Name == "NewTicker"):
+				msg = "time." + sel.Sel.Name + " schedules on the wall clock; simulated time must flow through internal/event"
 			case path == "os" && sel.Sel.Name == "Getenv":
 				msg = "os.Getenv in internal code hides configuration from the caller; plumb the value through Options"
+			case path == "os" && sel.Sel.Name == "Getpid":
+				msg = "os.Getpid in internal code is ambient nondeterminism (a favorite accidental seed); plumb an explicit ID through Options"
 			default:
 				return true
 			}

@@ -44,6 +44,8 @@ func (ErrDrop) Run(m *Module, pkg *Package) []Diagnostic {
 				diags = append(diags, checkIgnoredCall(m, pkg, f, s.Call, "deferred ")...)
 			case *ast.GoStmt:
 				diags = append(diags, checkIgnoredCall(m, pkg, f, s.Call, "spawned ")...)
+			case *ast.ValueSpec:
+				diags = append(diags, checkValueSpec(m, pkg, s)...)
 			}
 			return true
 		})
@@ -89,6 +91,52 @@ func checkAssign(m *Module, pkg *Package, s *ast.AssignStmt) []Diagnostic {
 		results := resultTypes(pkg, call)
 		if len(results) == 1 && isErrorType(results[0]) {
 			flag(call)
+		}
+	}
+	return diags
+}
+
+// checkValueSpec flags the declaration form of a blank discard —
+// `var _ = f()` and `var v, _ = f()` — which the AssignStmt path does
+// not see. Both the tuple form (one call, several names) and the paired
+// form (`var a, _ = x, erroringCall()`) are handled, mirroring checkAssign.
+func checkValueSpec(m *Module, pkg *Package, s *ast.ValueSpec) []Diagnostic {
+	var diags []Diagnostic
+	if len(s.Values) == 1 && len(s.Names) >= 1 {
+		call, ok := ast.Unparen(s.Values[0]).(*ast.CallExpr)
+		if !ok {
+			return nil
+		}
+		results := resultTypes(pkg, call)
+		for i, name := range s.Names {
+			if name.Name == "_" && i < len(results) && isErrorType(results[i]) {
+				diags = append(diags, Diagnostic{
+					Pos:  m.Fset.Position(s.Pos()),
+					Rule: "errdrop",
+					Message: fmt.Sprintf("error result of %s discarded with var _; handle it or suppress with "+
+						"//custody:ignore errdrop <reason>", calleeString(call)),
+				})
+				break
+			}
+		}
+		return diags
+	}
+	for i, v := range s.Values {
+		if i >= len(s.Names) || s.Names[i].Name != "_" {
+			continue
+		}
+		call, ok := ast.Unparen(v).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		results := resultTypes(pkg, call)
+		if len(results) == 1 && isErrorType(results[0]) {
+			diags = append(diags, Diagnostic{
+				Pos:  m.Fset.Position(s.Pos()),
+				Rule: "errdrop",
+				Message: fmt.Sprintf("error result of %s discarded with var _; handle it or suppress with "+
+					"//custody:ignore errdrop <reason>", calleeString(call)),
+			})
 		}
 	}
 	return diags

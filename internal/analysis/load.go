@@ -39,6 +39,12 @@ type Module struct {
 	Packages []*Package // sorted by import path
 
 	byPath map[string]*Package
+
+	// Lazily built module-wide indices shared by the analyzers. Run is
+	// sequential over packages, so plain memoization suffices.
+	ann    *annIndex
+	locks  *lockGraph
+	atomix *atomicIndex
 }
 
 // FindModuleRoot walks up from dir looking for a go.mod and returns the

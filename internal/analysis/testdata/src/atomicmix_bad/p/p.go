@@ -1,0 +1,28 @@
+// Package p is a negative fixture: fields and variables accessed both
+// through sync/atomic and with plain loads/stores.
+package p
+
+import "sync/atomic"
+
+var hits int64
+
+// gauge mixes access styles on its level field.
+type gauge struct {
+	level int64
+}
+
+// Bump is the atomic side.
+func Bump(g *gauge) {
+	atomic.AddInt64(&g.level, 1)
+	atomic.AddInt64(&hits, 1)
+}
+
+// Read is the racy side: plain loads of atomically-written state.
+func Read(g *gauge) int64 {
+	return g.level + hits
+}
+
+// Store is a racy plain write.
+func Store(g *gauge) {
+	g.level = 0
+}

@@ -1,0 +1,31 @@
+// Package p is a positive fixture: atomically-accessed state is atomic
+// everywhere, with one reasoned exception during construction.
+package p
+
+import "sync/atomic"
+
+var hits int64
+
+// gauge is accessed only through the atomic API.
+type gauge struct {
+	level int64
+}
+
+// Bump writes atomically.
+func Bump(g *gauge) {
+	atomic.AddInt64(&g.level, 1)
+	atomic.AddInt64(&hits, 1)
+}
+
+// Read loads atomically.
+func Read(g *gauge) int64 {
+	return atomic.LoadInt64(&g.level) + atomic.LoadInt64(&hits)
+}
+
+// New initializes before publication; the plain store cannot race and
+// carries the mandatory reason.
+func New(seed int64) *gauge {
+	g := &gauge{}
+	g.level = seed //custody:ignore atomicmix construction happens-before publication; no concurrent access yet
+	return g
+}

@@ -18,3 +18,16 @@ func Seed() int64 {
 
 // Jitter leans on the global math/rand stream.
 func Jitter() float64 { return rand.Float64() }
+
+// Elapsed measures against the wall clock.
+func Elapsed(t0 time.Time) time.Duration { return time.Since(t0) }
+
+// Wait schedules on the wall clock instead of internal/event.
+func Wait() {
+	<-time.After(1)
+	t := time.NewTimer(1)
+	t.Stop()
+}
+
+// ID leans on the process ID, a favorite accidental seed.
+func ID() int { return os.Getpid() }

@@ -36,3 +36,13 @@ func Sloppy() {
 func Typo() {
 	work() //custody:ignore errdorp fat-fingered rule name
 }
+
+// Package-level declaration discard: the ValueSpec form of `_ = f()`.
+var _ = work()
+
+// Declared shows the same form inside a function body.
+func Declared() {
+	var _ = work()
+	var keep, _ = pair()
+	_ = keep
+}

@@ -1,0 +1,12 @@
+// Package core is a negative fixture: goroutines and channel operations in
+// a single-threaded deterministic leaf.
+package core
+
+// Pump spawns and communicates inside the leaf.
+func Pump(ch chan int) int {
+	go drain(ch)
+	ch <- 1
+	return <-ch
+}
+
+func drain(ch chan int) {}

@@ -1,0 +1,29 @@
+// Package p is a negative fixture: goroutines capturing loop variables,
+// package-level state, and unguarded struct fields.
+package p
+
+var total int
+
+// stats has no declared guard.
+type stats struct {
+	hits int
+}
+
+// Fan spawns the classic capture bugs.
+func Fan(xs []int, st *stats) {
+	for _, x := range xs {
+		go func() {
+			total += x
+			st.hits++
+		}()
+	}
+}
+
+// Indexed captures a three-clause loop variable.
+func Indexed(xs []int) {
+	for i := 0; i < len(xs); i++ {
+		go func() {
+			_ = xs[i]
+		}()
+	}
+}

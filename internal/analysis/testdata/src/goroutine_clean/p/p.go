@@ -1,0 +1,37 @@
+// Package p is a positive fixture: goroutines that pass loop values as
+// arguments and guard shared fields.
+package p
+
+import "sync"
+
+// box guards its count.
+type box struct {
+	mu sync.Mutex
+	//custody:guardedby mu
+	n int
+}
+
+// Fan passes the loop variable as an argument and locks around the shared
+// field.
+func Fan(xs []int, b *box) {
+	var wg sync.WaitGroup
+	for _, x := range xs {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			b.mu.Lock()
+			b.n += v
+			b.mu.Unlock()
+		}(x)
+	}
+	wg.Wait()
+}
+
+// Local spawns over goroutine-local state only.
+func Local() chan int {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- 1
+	}()
+	return ch
+}

@@ -1,0 +1,52 @@
+// Package p is a negative fixture: guarded fields accessed outside their
+// mutex span, plus every malformed form of the annotation.
+package p
+
+import "sync"
+
+// Counter guards its count behind mu.
+type Counter struct {
+	mu sync.Mutex
+	//custody:guardedby mu
+	n int
+	//custody:guardedby phantom
+	orphan int
+	//custody:guardedby
+	nameless int
+}
+
+// Inc holds the lock — clean.
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// Peek reads without the lock — flagged.
+func (c *Counter) Peek() int {
+	return c.n
+}
+
+// Bump writes after the unlock — flagged.
+func (c *Counter) Bump() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	c.n++
+}
+
+// Escape hands the field to a closure that runs at an unknown time —
+// the closure body has no lock span, so the access is flagged.
+func (c *Counter) Escape() func() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return func() int { return c.n }
+}
+
+//custody:holds mu
+func floating() {}
+
+// Stale claims a mutex the receiver does not have.
+//
+//custody:holds
+func (c *Counter) Stale() {}

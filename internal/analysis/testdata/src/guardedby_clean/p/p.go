@@ -1,0 +1,51 @@
+// Package p is a positive fixture: every recognized locking idiom around a
+// //custody:guardedby field.
+package p
+
+import "sync"
+
+// Table guards its rows behind a read-write mutex.
+type Table struct {
+	mu sync.RWMutex
+	//custody:guardedby mu
+	rows int
+}
+
+// Grow uses the canonical lock/defer-unlock shape.
+func (t *Table) Grow() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rows++
+}
+
+// Len takes the read side.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows
+}
+
+// Reset pairs lock and unlock in one block.
+func (t *Table) Reset() {
+	t.mu.Lock()
+	t.rows = 0
+	t.mu.Unlock()
+}
+
+// rowsLocked documents its precondition instead of locking.
+//
+//custody:holds mu
+func (t *Table) rowsLocked() int { return t.rows }
+
+// Snapshot calls the holds-annotated helper under the lock.
+func (t *Table) Snapshot() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rowsLocked()
+}
+
+// Bootstrap runs before any goroutine exists; the access is deliberately
+// unlocked and carries the mandatory reason.
+func (t *Table) Bootstrap() {
+	t.rows = 1 //custody:ignore guardedby single-threaded construction, no concurrent readers yet
+}

@@ -1,0 +1,27 @@
+// Package p is a negative fixture: two mutexes acquired in opposite orders
+// on different call paths — the classic ABBA deadlock.
+package p
+
+import "sync"
+
+// Ledger owns two independent locks.
+type Ledger struct {
+	accounts sync.Mutex
+	journal  sync.Mutex
+}
+
+// Post takes accounts, then journal.
+func (l *Ledger) Post() {
+	l.accounts.Lock()
+	defer l.accounts.Unlock()
+	l.journal.Lock()
+	defer l.journal.Unlock()
+}
+
+// Audit takes journal, then accounts — the opposite order.
+func (l *Ledger) Audit() {
+	l.journal.Lock()
+	defer l.journal.Unlock()
+	l.accounts.Lock()
+	defer l.accounts.Unlock()
+}

@@ -1,0 +1,40 @@
+// Package p is a positive fixture: three mutexes always acquired in one
+// blessed order (state → queue → stats), including through a
+// //custody:holds-annotated helper.
+package p
+
+import "sync"
+
+// Broker layers three locks.
+type Broker struct {
+	state sync.Mutex
+	queue sync.Mutex
+	stats sync.Mutex
+}
+
+// Dispatch takes all three in the blessed order.
+func (b *Broker) Dispatch() {
+	b.state.Lock()
+	defer b.state.Unlock()
+	b.queue.Lock()
+	defer b.queue.Unlock()
+	b.stats.Lock()
+	defer b.stats.Unlock()
+}
+
+// Drain takes a suffix of the order — consistent with Dispatch.
+func (b *Broker) Drain() {
+	b.queue.Lock()
+	defer b.queue.Unlock()
+	b.stats.Lock()
+	defer b.stats.Unlock()
+}
+
+// countLocked extends the chain from a documented precondition: queue is
+// held by the caller, so the stats acquisition records queue → stats.
+//
+//custody:holds queue
+func (b *Broker) countLocked() {
+	b.stats.Lock()
+	defer b.stats.Unlock()
+}

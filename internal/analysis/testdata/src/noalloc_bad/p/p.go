@@ -1,0 +1,45 @@
+// Package p is a negative fixture: every allocating construct inside
+// //custody:noalloc functions.
+package p
+
+import "fmt"
+
+type pool struct{ buf []int }
+
+type doer interface{ do() }
+
+var sink any
+
+func helper() int { return 1 }
+
+// Hot is annotated and allocates in every way the rule knows.
+//
+//custody:noalloc
+func Hot(p *pool, d doer, a, b string) string {
+	p.buf = append(p.buf, 1)
+	m := make(map[int]int)
+	_ = m
+	xs := []int{1, 2}
+	_ = xs
+	pp := &pool{}
+	_ = pp
+	f := func() int { return 0 }
+	_ = f
+	defer helper()
+	fmt.Println("hot")
+	d.do()
+	_ = helper()
+	sink = 42
+	bs := []byte(a)
+	_ = bs
+	return a + b
+}
+
+// Grow boxes through a variadic interface parameter.
+//
+//custody:noalloc
+func Grow(n int) {
+	variadic(n)
+}
+
+func variadic(vs ...any) {}

@@ -1,0 +1,57 @@
+// Package p is a positive fixture: //custody:noalloc functions doing only
+// non-allocating work, with one reasoned suppression for a warm append.
+package p
+
+// ring is a preallocated buffer reused across rounds.
+type ring struct {
+	buf  []int
+	next int
+}
+
+// push writes into the warm region of the buffer.
+//
+//custody:noalloc
+func (r *ring) push(v int) {
+	if r.next < len(r.buf) {
+		r.buf[r.next] = v
+		r.next++
+		return
+	}
+	r.buf = append(r.buf, v) //custody:ignore noalloc buffer is preallocated to capacity in New; append never grows after warmup
+	r.next++
+}
+
+// Sum chains to another annotated function — the transitive contract.
+//
+//custody:noalloc
+func (r *ring) Sum() int {
+	t := 0
+	for i := 0; i < r.next; i++ {
+		t += at(r.buf, i)
+	}
+	return t
+}
+
+// at is annotated, so Sum may call it.
+//
+//custody:noalloc
+func at(xs []int, i int) int {
+	if i < len(xs) {
+		return xs[i]
+	}
+	return 0
+}
+
+// Reset uses only alloc-safe builtins.
+//
+//custody:noalloc
+func (r *ring) Reset() {
+	clear(r.buf)
+	r.next = min(r.next, 0)
+}
+
+// New builds the ring; it is deliberately NOT annotated, so its
+// allocations are fine.
+func New(capacity int) *ring {
+	return &ring{buf: make([]int, 0, capacity)}
+}

@@ -1,0 +1,39 @@
+// Package work exercises every edge of //custody:ignore parsing: trailing
+// vs line-above placement, several suppressions in one comment, unknown
+// rule names, and missing reasons.
+package work
+
+import (
+	"errors"
+	"time"
+)
+
+func run(t time.Time) error { return errors.New("x") }
+
+// Trailing suppresses on the same line.
+func Trailing() int64 {
+	return time.Now().UnixNano() //custody:ignore detrand fixture pins trailing placement
+}
+
+// Above suppresses from the line above; this line fires two different
+// rules and one comment carries both suppressions.
+func Above() {
+	//custody:ignore detrand clock is the fixture's point custody:ignore errdrop error carries no signal here
+	_ = run(time.Now())
+}
+
+// Unknown names a rule that does not exist: the typo is reported and the
+// errdrop finding survives.
+func Unknown() {
+	_ = run(time.Now()) //custody:ignore detrand pinned custody:ignore errdorp fat-fingered
+}
+
+// NoReason suppresses nothing and is itself reported.
+func NoReason() {
+	_ = run(time.Now()) //custody:ignore detrand pinned custody:ignore errdrop
+}
+
+// Bare is the degenerate form: no rule at all.
+func Bare() {
+	_ = run(time.Now()) //custody:ignore detrand pinned custody:ignore
+}

@@ -222,6 +222,8 @@ func (p *execPool) newNode() int32 {
 }
 
 // nodeApp returns the (node, app) index entry, creating it on first use.
+//
+//custody:noalloc
 func (p *execPool) nodeApp(ni int32, app int) int32 {
 	key := naKey{node: ni, app: app}
 	if i, ok := p.naIdx[key]; ok {
@@ -237,7 +239,7 @@ func (p *execPool) nodeApp(ni int32, app int) int32 {
 		na.ownFree = 0
 	} else {
 		i = int32(len(p.na))
-		p.na = append(p.na, nodeApp{})
+		p.na = append(p.na, nodeApp{}) //custody:ignore noalloc na arena grows only until the (node, app) working set is warm
 	}
 	p.naLen++
 	p.naIdx[key] = i
@@ -247,6 +249,8 @@ func (p *execPool) nodeApp(ni int32, app int) int32 {
 // post registers a pending task's replica nodes in the locality index and
 // initializes its unreserved-availability counter. Nodes without executors
 // are not posted: they can never satisfy the task and never transition.
+//
+//custody:noalloc
 func (p *execPool) post(t *taskState) {
 	for _, n := range t.d.Nodes {
 		ni, ok := p.byNode[n]
@@ -254,15 +258,17 @@ func (p *execPool) post(t *taskState) {
 			continue
 		}
 		ns := &p.nodes[ni]
-		ns.posts = append(ns.posts, t)
+		ns.posts = append(ns.posts, t) //custody:ignore noalloc posts arenas keep their capacity across rounds; growth stops once warm
 		nai := p.nodeApp(ni, t.owner.d.App)
 		na := &p.na[nai]
-		na.posts = append(na.posts, t)
-		t.unresAvail++ // at build time every executor is unreserved
+		na.posts = append(na.posts, t) //custody:ignore noalloc posts arenas keep their capacity across rounds; growth stops once warm
+		t.unresAvail++                 // at build time every executor is unreserved
 	}
 }
 
 // minUnres returns the node's lowest-ID unreserved executor, or -1.
+//
+//custody:noalloc
 func (p *execPool) minUnres(ns *nodeState) int32 {
 	for int(ns.cursor) < len(ns.execIdx) {
 		ei := ns.execIdx[ns.cursor]
@@ -276,6 +282,8 @@ func (p *execPool) minUnres(ns *nodeState) int32 {
 
 // minOwnFree returns the app's lowest-ID claimed executor with free slots
 // on the node, or -1.
+//
+//custody:noalloc
 func (p *execPool) minOwnFree(nai int32) int32 {
 	na := &p.na[nai]
 	for int(na.cursor) < len(na.execIdx) {
@@ -291,6 +299,8 @@ func (p *execPool) minOwnFree(nai int32) int32 {
 // better reports whether cand beats best under the reference pick order:
 // app-reserved executors first (no budget cost), then lowest executor ID;
 // first-considered wins ties.
+//
+//custody:noalloc
 func (p *execPool) better(cand int32, candRes bool, best int32, bestRes bool) bool {
 	if best < 0 {
 		return true
@@ -305,6 +315,8 @@ func (p *execPool) better(cand int32, candRes bool, best int32, bestRes bool) bo
 // executors already reserved for the app are preferred (they are free with
 // respect to the budget); ties break toward the lowest executor ID.
 // newExec reports whether a previously-unreserved executor was claimed.
+//
+//custody:noalloc
 func (p *execPool) takeOnAny(nodes []int, a *appState) (e ExecInfo, newExec, ok bool) {
 	allowNew := a.allowNew()
 	best := int32(-1)
@@ -337,6 +349,8 @@ func (p *execPool) takeOnAny(nodes []int, a *appState) (e ExecInfo, newExec, ok 
 // takeAny takes one slot anywhere for the app: its lowest-ID claimed
 // executor with free slots, else (budget permitting) the globally lowest-ID
 // unreserved executor.
+//
+//custody:noalloc
 func (p *execPool) takeAny(a *appState) (e ExecInfo, newExec, ok bool) {
 	for len(a.resHeap) > 0 {
 		ei := a.resHeap[0]
@@ -363,6 +377,8 @@ func (p *execPool) takeAny(a *appState) (e ExecInfo, newExec, ok bool) {
 //     every task posted there (each node drains at most once per round);
 //   - the app's first free claimed executor on a node raises ownAvail for
 //     the app's tasks posted there, and losing the last one drains it.
+//
+//custody:noalloc
 func (p *execPool) takeSlot(ei int32, a *appState) (ExecInfo, bool, bool) {
 	pe := &p.execs[ei]
 	newExec := pe.reserved == 0
@@ -377,7 +393,7 @@ func (p *execPool) takeSlot(ei int32, a *appState) (ExecInfo, bool, bool) {
 		}
 		nai := p.nodeApp(ni, a.d.App)
 		na := &p.na[nai]
-		na.execIdx = append(na.execIdx, ei)
+		na.execIdx = append(na.execIdx, ei) //custody:ignore noalloc execIdx arenas keep their capacity across rounds; growth stops once warm
 		pushIntHeap(&a.resHeap, ei)
 		pe.free--
 		if pe.free > 0 {
@@ -401,6 +417,7 @@ func (p *execPool) takeSlot(ei int32, a *appState) (ExecInfo, bool, bool) {
 	return pe.info, newExec, true
 }
 
+//custody:noalloc
 func (p *execPool) drainUnres(ns *nodeState) {
 	for _, t := range ns.posts {
 		if t.satisfied {
@@ -413,6 +430,7 @@ func (p *execPool) drainUnres(ns *nodeState) {
 	}
 }
 
+//custody:noalloc
 func (p *execPool) raiseOwn(na *nodeApp) {
 	for _, t := range na.posts {
 		if t.satisfied {
@@ -425,6 +443,7 @@ func (p *execPool) raiseOwn(na *nodeApp) {
 	}
 }
 
+//custody:noalloc
 func (p *execPool) drainOwn(na *nodeApp) {
 	for _, t := range na.posts {
 		if t.satisfied {
@@ -439,8 +458,9 @@ func (p *execPool) drainOwn(na *nodeApp) {
 
 // ---- int32 min-heap (executor indices; index order is ID order) ----
 
+//custody:noalloc
 func pushIntHeap(h *[]int32, v int32) {
-	s := append(*h, v)
+	s := append(*h, v) //custody:ignore noalloc resHeap keeps its capacity across rounds; growth stops once warm
 	i := len(s) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -453,6 +473,7 @@ func pushIntHeap(h *[]int32, v int32) {
 	*h = s
 }
 
+//custody:noalloc
 func popIntHeap(h *[]int32) int32 {
 	s := *h
 	top := s[0]

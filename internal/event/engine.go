@@ -171,6 +171,7 @@ func (e *Engine) loop() {
 
 // ---- 4-ary min-heap by (time, seq) ----
 
+//custody:noalloc
 func timerLess(a, b *Timer) bool {
 	if a.time != b.time {
 		return a.time < b.time
@@ -178,8 +179,9 @@ func timerLess(a, b *Timer) bool {
 	return a.seq < b.seq
 }
 
+//custody:noalloc
 func (e *Engine) push(tm *Timer) {
-	e.pq = append(e.pq, tm)
+	e.pq = append(e.pq, tm) //custody:ignore noalloc pq reuses capacity released by pops; growth stops once the in-flight timer set is warm
 	i := len(e.pq) - 1
 	for i > 0 {
 		parent := (i - 1) / 4
@@ -192,6 +194,8 @@ func (e *Engine) push(tm *Timer) {
 }
 
 // popRoot removes the minimum element.
+//
+//custody:noalloc
 func (e *Engine) popRoot() {
 	h := e.pq
 	n := len(h) - 1
@@ -204,6 +208,7 @@ func (e *Engine) popRoot() {
 	}
 }
 
+//custody:noalloc
 func (e *Engine) siftDown(i int) {
 	h := e.pq
 	n := len(h)

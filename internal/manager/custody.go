@@ -286,6 +286,8 @@ func demandNodes(env Env, t *app.Task) (nodes []int, fallback bool) {
 }
 
 // containsNode reports whether nodes contains n (replica lists are short).
+//
+//custody:noalloc
 func containsNode(nodes []int, n int) bool {
 	for _, x := range nodes {
 		if x == n {

@@ -182,6 +182,8 @@ func NewFlightRecorder(decisionCap, grantCap int) *FlightRecorder {
 }
 
 // BeginRound implements AllocObserver.
+//
+//custody:noalloc
 func (fr *FlightRecorder) BeginRound(apps, execs int) {
 	fr.round++
 	fr.lastApps = apps
@@ -189,13 +191,19 @@ func (fr *FlightRecorder) BeginRound(apps, execs int) {
 }
 
 // Decide implements AllocObserver.
+//
+//custody:noalloc
 func (fr *FlightRecorder) Decide(d Decision) { fr.pushDecision(d) }
 
 // Grant implements AllocObserver.
+//
+//custody:noalloc
 func (fr *FlightRecorder) Grant(g Grant) { fr.pushGrant(g) }
 
 // pushDecision stamps Round/Seq and records the decision, returning the
 // stamped copy for streaming.
+//
+//custody:noalloc
 func (fr *FlightRecorder) pushDecision(d Decision) Decision {
 	d.Round = fr.round
 	d.Seq = fr.dn
@@ -206,6 +214,8 @@ func (fr *FlightRecorder) pushDecision(d Decision) Decision {
 
 // pushGrant stamps Round and the owning decision's Seq, records the grant,
 // and returns the stamped copy.
+//
+//custody:noalloc
 func (fr *FlightRecorder) pushGrant(g Grant) Grant {
 	g.Round = fr.round
 	g.Decision = fr.dn - 1
