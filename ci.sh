@@ -131,4 +131,99 @@ if ! tail -1 artifacts/obsv.om | grep -q '^# EOF$'; then
     exit 1
 fi
 
+echo "== custodyd service smoke"
+# Boot the allocation service on an ephemeral port, drive a workload over
+# the HTTP API, scrape /metrics, kill -9 the daemon, and require the
+# restarted process to replay the intent log back to a byte-identical
+# digest before draining it with SIGTERM. Server logs, the metrics
+# exposition, and the final checkpoint are left under artifacts/ for CI to
+# upload.
+DDIR=artifacts/custodyd
+rm -rf "$DDIR"
+mkdir -p "$DDIR"
+go build -o artifacts/custodyd.bin ./cmd/custodyd
+
+# status_field <field> — extract a scalar field from /v1/status JSON.
+status_field() {
+    curl -sf "http://$CUSTODYD_ADDR/v1/status" | jq -r ".$1"
+}
+# wait_addr <logfile> — wait for the daemon to publish its bound address.
+wait_addr() {
+    for _ in $(seq 1 100); do
+        if [ -s "$DDIR/addr" ]; then
+            CUSTODYD_ADDR=$(cat "$DDIR/addr")
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "custodyd did not publish $DDIR/addr; log:"
+    cat "$1"
+    exit 1
+}
+
+artifacts/custodyd.bin -addr 127.0.0.1:0 -dir "$DDIR" -round-ms 20 \
+    -checkpoint-every 4 -obsv-jsonl > "$DDIR/server1.log" 2>&1 &
+DPID=$!
+wait_addr "$DDIR/server1.log"
+
+curl -sf -XPOST "http://$CUSTODYD_ADDR/v1/register-app" -d '{"name":"ci-alice"}' > /dev/null
+curl -sf -XPOST "http://$CUSTODYD_ADDR/v1/register-app" -d '{"name":"ci-bob"}' > /dev/null
+for i in 0 1 2 3 4 5; do
+    curl -sf -XPOST "http://$CUSTODYD_ADDR/v1/submit-job" \
+        -d "{\"tenant\":$((i % 2)),\"workload\":\"Sort\",\"file\":$((i % 2))}" > /dev/null
+done
+for _ in $(seq 1 200); do
+    if [ "$(status_field idle)" = "true" ] && [ "$(status_field queued)" = "0" ] &&
+        [ "$(status_field jobs_finished)" = "6" ]; then
+        break
+    fi
+    sleep 0.1
+done
+if [ "$(status_field jobs_finished)" != "6" ]; then
+    echo "custodyd did not finish the workload; status:"
+    curl -s "http://$CUSTODYD_ADDR/v1/status"
+    exit 1
+fi
+
+curl -sf "http://$CUSTODYD_ADDR/metrics" > artifacts/custodyd-metrics.om
+if [ "$(grep -c '^# EOF$' artifacts/custodyd-metrics.om)" != "1" ]; then
+    echo "custodyd /metrics exposition is not terminated by exactly one # EOF"
+    exit 1
+fi
+
+digest_before=$(status_field digest)
+if [ -z "$digest_before" ] || [ "$digest_before" = "null" ]; then
+    echo "custodyd status did not report a digest"
+    exit 1
+fi
+kill -9 "$DPID"
+wait "$DPID" 2>/dev/null || true
+
+rm -f "$DDIR/addr"
+artifacts/custodyd.bin -addr 127.0.0.1:0 -dir "$DDIR" -round-ms 20 \
+    -checkpoint-every 4 -obsv-jsonl > "$DDIR/server2.log" 2>&1 &
+DPID=$!
+wait_addr "$DDIR/server2.log"
+if [ "$(status_field recovered)" != "true" ]; then
+    echo "restarted custodyd did not report recovery"
+    exit 1
+fi
+digest_after=$(status_field digest)
+if [ "$digest_before" != "$digest_after" ]; then
+    echo "custodyd recovery digest mismatch: $digest_before != $digest_after"
+    exit 1
+fi
+echo "custodyd recovered to identical digest $digest_after after kill -9"
+
+kill -TERM "$DPID"
+if ! wait "$DPID"; then
+    echo "custodyd did not exit cleanly on SIGTERM; log:"
+    cat "$DDIR/server2.log"
+    exit 1
+fi
+if [ ! -s "$DDIR/checkpoint.json" ]; then
+    echo "custodyd drain left no final checkpoint"
+    exit 1
+fi
+
 echo "ci: OK"

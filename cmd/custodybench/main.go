@@ -41,15 +41,16 @@ func main() {
 	)
 	flag.Parse()
 
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if err := validateFlags(set, *fig, *repeats, *emitJSON, *baseline, *pprofDir); err != nil {
+		log.Printf("custodybench: %v (run 'custodybench -h' for usage)", err)
+		os.Exit(2)
+	}
+
 	if *emitJSON != "" {
 		runBenchHarness(*emitJSON, *baseline, *pprofDir, *quick, *seed)
 		return
-	}
-	if *baseline != "" {
-		fail(fmt.Errorf("-baseline requires -emit-json"))
-	}
-	if *pprofDir != "" {
-		fail(fmt.Errorf("-pprof requires -emit-json"))
 	}
 
 	opts := experiments.DefaultOptions()

@@ -42,16 +42,30 @@ func main() {
 		mcSeeds  = flag.Int("seeds", 100, "modelcheck: number of seeds to sweep")
 		mcCmds   = flag.Int("mc-cmds", 40, "modelcheck: commands per seed")
 		mcOut    = flag.String("mc-out", "", "modelcheck: write the minimal reproducer to this .repro file on violation")
+		mcServer = flag.Bool("mc-server", false, "modelcheck: drive the custodyd service harness (op log, crash/recovery) instead of the bare driver")
 		mcReplay = flag.String("mc-replay", "", "replay a serialized .repro file and exit")
 	)
 	flag.Parse()
+
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if err := validateFlags(set, cliFlags{
+		manager: *mgr, scheduler: *sched, workload: *wl,
+		nodes: *nodes, execs: *execs, slots: *slots, apps: *apps, jobs: *jobs,
+		arrival: *arrival, wait: *wait,
+		mcMode: *mcMode, mcServer: *mcServer, mcSeeds: *mcSeeds, mcCmds: *mcCmds,
+		mcReplay: *mcReplay, mcOut: *mcOut,
+	}); err != nil {
+		log.Printf("custodysim: %v (run 'custodysim -h' for usage)", err)
+		os.Exit(2)
+	}
 
 	if *mcReplay != "" {
 		runModelCheckReplay(*mcReplay)
 		return
 	}
 	if *mcMode {
-		runModelCheck(*mcSeeds, *mcCmds, *mcOut)
+		runModelCheck(*mcSeeds, *mcCmds, *mcOut, *mcServer)
 		return
 	}
 

@@ -10,20 +10,26 @@ import (
 
 // runModelCheck is custodysim's long-run model-checking mode: sweep `seeds`
 // xrand seeds, each driving `cmds` randomized commands through the
-// allocation/driver state machine with the independent model watching. On
+// allocation/driver state machine with the independent model watching. When
+// server is set the commands drive the custodyd service harness instead —
+// every step a committed op, with crash/recovery cycles in the alphabet. On
 // the first violation it shrinks to a minimal reproducer, prints the report
 // (commands, violations, decision-provenance chain), optionally writes a
 // .repro file, and exits nonzero.
-func runModelCheck(seeds, cmds int, out string) {
+func runModelCheck(seeds, cmds int, out string, server bool) {
+	check, shrink := modelcheck.Check, modelcheck.ShrinkResult
+	if server {
+		check, shrink = modelcheck.CheckServer, modelcheck.ShrinkServerResult
+	}
 	checked := 0
 	for seed := uint64(1); seed <= uint64(seeds); seed++ {
-		r := modelcheck.Check(seed, cmds)
+		r := check(seed, cmds)
 		checked++
 		if !r.Failed() {
 			continue
 		}
 		fmt.Printf("modelcheck: seed %d violated invariants; shrinking...\n", seed)
-		min := modelcheck.ShrinkResult(r)
+		min := shrink(r)
 		if err := min.WriteReport(os.Stdout); err != nil {
 			log.Printf("custodysim: %v", err)
 		}

@@ -203,6 +203,28 @@ func TestLockOrderReportDeterministic(t *testing.T) {
 	}
 }
 
+// TestLockOrderReportCoversCustodyd pins that the module's own blessed-
+// order report names the custodyd server mutex: the service edge is the
+// repo's first long-lived concurrent component, and its lock must be part
+// of the machine-checked acquisition order.
+func TestLockOrderReportCoversCustodyd(t *testing.T) {
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := analysis.LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := analysis.LockOrderReport(m)
+	if !strings.Contains(report, "Server.mu") {
+		t.Errorf("lock report does not cover custodyd's Server.mu:\n%s", report)
+	}
+	if strings.Contains(report, "cycle") {
+		t.Errorf("module lock graph reports a cycle:\n%s", report)
+	}
+}
+
 // TestNoAllocHotPathsAnnotated pins that the static //custody:noalloc
 // contract covers the paths the dynamic allocation gates cover: the flight
 // recorder's record path (TestRecordingDoesNotAllocate) and the allocator's

@@ -9,11 +9,13 @@ import (
 // reusable and testable in isolation. The leaf layers — core, matching,
 // maxflow, netsim, obsv, xrand — hold pure algorithms over plain data and
 // must never reach up into the orchestration layers (driver, experiments,
-// sim, manager) or into the binaries (cmd/*). Upward imports would drag
-// simulation state, experiment configuration, or I/O into the hot paths and
-// make the kernel impossible to verify against the paper's algorithms.
-// obsv is the decision-provenance leaf: core, manager, and driver all feed
-// it, so it must stay below them all.
+// sim, manager, custodyd) or into the binaries (cmd/*). Upward imports
+// would drag simulation state, experiment configuration, or I/O into the
+// hot paths and make the kernel impossible to verify against the paper's
+// algorithms. obsv is the decision-provenance leaf: core, manager, and
+// driver all feed it, so it must stay below them all. custodyd is the
+// topmost internal layer — the allocation service wrapping driver and
+// manager — so nothing below it may import it.
 type Layering struct{}
 
 // leafLayers are internal packages that must remain dependency leaves
@@ -21,7 +23,7 @@ type Layering struct{}
 var leafLayers = []string{"core", "matching", "maxflow", "netsim", "obsv", "xrand"}
 
 // forbiddenLayers are the orchestration packages leaves must not import.
-var forbiddenLayers = []string{"driver", "experiments", "sim", "manager"}
+var forbiddenLayers = []string{"driver", "experiments", "sim", "manager", "custodyd"}
 
 // Name implements Analyzer.
 func (Layering) Name() string { return "layering" }
@@ -29,7 +31,7 @@ func (Layering) Name() string { return "layering" }
 // Doc implements Analyzer.
 func (Layering) Doc() string {
 	return "leaf layers (internal/core, matching, maxflow, netsim, obsv, xrand) must not import " +
-		"orchestration layers (internal/driver, experiments, sim, manager) or cmd/*"
+		"orchestration layers (internal/driver, experiments, sim, manager, custodyd) or cmd/*"
 }
 
 // Run implements Analyzer.

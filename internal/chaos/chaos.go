@@ -28,11 +28,18 @@ const (
 	SlowDisk      Kind = "slow-disk"
 	FlakyDataNode Kind = "flaky-datanode"
 	StaleMetadata Kind = "stale-metadata"
+	// DaemonCrash kills and restarts the allocation service itself
+	// (internal/custodyd) mid-round. It targets the control plane rather
+	// than the simulated cluster, so Apply/Revert treat it as a no-op: the
+	// service harness consumes it via Split and performs the kill/replay
+	// cycle. It is last in planning order so profiles without daemon
+	// crashes draw the same rng stream as before the kind existed.
+	DaemonCrash Kind = "daemon-crash"
 )
 
 // Kinds returns every fault kind in canonical planning order.
 func Kinds() []Kind {
-	return []Kind{Partition, LinkDegrade, ExecutorCrash, NodeFlap, SlowDisk, FlakyDataNode, StaleMetadata}
+	return []Kind{Partition, LinkDegrade, ExecutorCrash, NodeFlap, SlowDisk, FlakyDataNode, StaleMetadata, DaemonCrash}
 }
 
 // kindRank gives the canonical order used to break sort ties.
@@ -68,6 +75,10 @@ type Profile struct {
 	SlowDisks       int
 	FlakyDataNodes  int
 	StaleWindows    int
+	// DaemonCrashes are kill/restart cycles of the allocation service
+	// itself (see DaemonCrash). Zero in DefaultProfile: they only make
+	// sense against a service harness, not a plain driver run.
+	DaemonCrashes int
 
 	// MeanDurationSec is the average fault window; actual windows are drawn
 	// uniformly from [0.5, 1.5] × mean.
@@ -108,13 +119,14 @@ func (p Profile) Scale(f float64) Profile {
 	p.SlowDisks = scale(p.SlowDisks)
 	p.FlakyDataNodes = scale(p.FlakyDataNodes)
 	p.StaleWindows = scale(p.StaleWindows)
+	p.DaemonCrashes = scale(p.DaemonCrashes)
 	return p
 }
 
 // total is the number of faults a plan from this profile contains.
 func (p Profile) total() int {
 	return p.Partitions + p.LinkDegrades + p.ExecutorCrashes + p.NodeFlaps +
-		p.SlowDisks + p.FlakyDataNodes + p.StaleWindows
+		p.SlowDisks + p.FlakyDataNodes + p.StaleWindows + p.DaemonCrashes
 }
 
 // Plan draws a deterministic fault schedule from the profile. Application
@@ -154,6 +166,8 @@ func Plan(p Profile, horizon float64, nodes, execs int, rng *xrand.Rand) []Fault
 			return p.FlakyDataNodes
 		case StaleMetadata:
 			return p.StaleWindows
+		case DaemonCrash:
+			return p.DaemonCrashes
 		}
 		return 0
 	}
@@ -177,6 +191,10 @@ func Plan(p Profile, horizon float64, nodes, execs int, rng *xrand.Rand) []Fault
 				f.Node = rng.Intn(nodes)
 			case StaleMetadata:
 				// No target: the whole NameNode goes stale.
+			case DaemonCrash:
+				// No target and no window: the kill/restart cycle is
+				// instantaneous from the plan's perspective.
+				f.Duration = 0
 			}
 			faults = append(faults, f)
 		}
@@ -195,6 +213,21 @@ func Plan(p Profile, horizon float64, nodes, execs int, rng *xrand.Rand) []Fault
 		return a.Exec < b.Exec
 	})
 	return faults
+}
+
+// Split partitions a plan into the driver-level faults (everything Inject
+// and Apply understand) and the daemon-crash events, preserving schedule
+// order within each. A service harness injects the first set through the
+// driver and consumes the second itself.
+func Split(faults []Fault) (driverFaults, daemonCrashes []Fault) {
+	for _, f := range faults {
+		if f.Kind == DaemonCrash {
+			daemonCrashes = append(daemonCrashes, f)
+		} else {
+			driverFaults = append(driverFaults, f)
+		}
+	}
+	return driverFaults, daemonCrashes
 }
 
 // partitionGroups cuts a random subset of nodes (at least one, at most

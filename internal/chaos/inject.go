@@ -29,13 +29,16 @@ func (r *Report) Ok() bool { return len(r.Violations) == 0 }
 // application and reversal, and violations accumulate in the report.
 //
 // Call Inject after driver.Start and before driver.Run; the report is
-// complete once Run returns.
+// complete once Run returns. DaemonCrash faults are skipped (and excluded
+// from Total): they target the service layer, which consumes them via
+// Split rather than through the event engine.
 func Inject(d *driver.Driver, faults []Fault, audit bool) *Report {
+	faults, _ = Split(faults)
 	r := &Report{Total: len(faults)}
 	for _, f := range faults {
 		f := f
 		d.Engine().At(f.At, func() {
-			applied := apply(d, f)
+			applied := Apply(d, f)
 			if applied {
 				r.Applied++
 			} else {
@@ -46,7 +49,7 @@ func Inject(d *driver.Driver, faults []Fault, audit bool) *Report {
 			}
 			if applied && f.Duration > 0 {
 				d.Engine().Schedule(f.Duration, func() {
-					revert(d, f)
+					Revert(d, f)
 					if audit {
 						r.audit(d, f, "revert")
 					}
@@ -66,9 +69,14 @@ func (r *Report) audit(d *driver.Driver, f Fault, phase string) {
 	}
 }
 
-// apply performs the fault's state change; false means the idempotency guard
-// absorbed it (e.g. the node was already down).
-func apply(d *driver.Driver, f Fault) bool {
+// Apply performs the fault's driver-level state change; false means the
+// idempotency guard absorbed it (e.g. the node was already down). Exported
+// so the service layer can apply logged faults at replay time, outside the
+// event engine. DaemonCrash is not a driver-level fault and returns false.
+func Apply(d *driver.Driver, f Fault) bool {
+	if f.Kind == DaemonCrash {
+		return false
+	}
 	switch f.Kind {
 	case Partition:
 		return d.InjectPartition(f.Groups)
@@ -88,8 +96,12 @@ func apply(d *driver.Driver, f Fault) bool {
 	panic(fmt.Sprintf("chaos: unknown fault kind %q", f.Kind))
 }
 
-// revert undoes a previously applied fault.
-func revert(d *driver.Driver, f Fault) bool {
+// Revert undoes a previously applied fault. DaemonCrash returns false for
+// the same reason as in Apply.
+func Revert(d *driver.Driver, f Fault) bool {
+	if f.Kind == DaemonCrash {
+		return false
+	}
 	switch f.Kind {
 	case Partition:
 		return d.HealPartition()

@@ -1,0 +1,96 @@
+package custodyd
+
+import (
+	"fmt"
+
+	"repro/internal/chaos"
+)
+
+// OpKind names one intent-log operation.
+type OpKind string
+
+// The op alphabet. Every externally visible state change of a Service is
+// exactly one of these; anything not expressible as an op cannot change
+// replayed state, which is what keeps recovery byte-identical.
+const (
+	OpRegisterApp  OpKind = "register-app"
+	OpSubmitJob    OpKind = "submit-job"
+	OpRound        OpKind = "round"
+	OpInjectFault  OpKind = "inject-fault"
+	OpRestoreFault OpKind = "restore-fault"
+	OpDrain        OpKind = "drain"
+)
+
+// Op is one logged intent. Seq is assigned at commit time and must be
+// contiguous from 1; unused fields stay at their zero values and are
+// omitted from the encoding.
+type Op struct {
+	Seq  uint64 `json:"seq"`
+	Kind OpKind `json:"kind"`
+
+	// register-app
+	Name string `json:"name,omitempty"`
+
+	// submit-job
+	Tenant   int    `json:"tenant,omitempty"`
+	Workload string `json:"workload,omitempty"`
+	File     int    `json:"file,omitempty"`
+
+	// round: the simulated-time slice covered and whether the round ran in
+	// degraded mode (no explicit Reallocate pass). Recording the mode here
+	// is what makes replay independent of the wall clock that triggered it.
+	Step     float64 `json:"step,omitempty"`
+	Degraded bool    `json:"degraded,omitempty"`
+
+	// inject-fault / restore-fault
+	Fault *chaos.Fault `json:"fault,omitempty"`
+}
+
+func (op Op) String() string {
+	switch op.Kind {
+	case OpRegisterApp:
+		return fmt.Sprintf("%d %s %q", op.Seq, op.Kind, op.Name)
+	case OpSubmitJob:
+		return fmt.Sprintf("%d %s tenant=%d workload=%s file=%d", op.Seq, op.Kind, op.Tenant, op.Workload, op.File)
+	case OpRound:
+		return fmt.Sprintf("%d %s step=%.3f degraded=%v", op.Seq, op.Kind, op.Step, op.Degraded)
+	case OpInjectFault, OpRestoreFault:
+		if op.Fault != nil {
+			return fmt.Sprintf("%d %s %s node=%d exec=%d", op.Seq, op.Kind, op.Fault.Kind, op.Fault.Node, op.Fault.Exec)
+		}
+		return fmt.Sprintf("%d %s <nil>", op.Seq, op.Kind)
+	default:
+		return fmt.Sprintf("%d %s", op.Seq, op.Kind)
+	}
+}
+
+// Journal is the append-only intent log a Service commits ops to. WAL is
+// the file-backed implementation; MemJournal backs tests and the model
+// checker, where crash/restart is simulated by handing the ops to a fresh
+// Service.
+type Journal interface {
+	Append(Op) error
+	Ops() []Op
+}
+
+// MemJournal is an in-memory Journal.
+type MemJournal struct {
+	ops []Op
+}
+
+// NewMemJournal returns a journal pre-loaded with ops (replayed by
+// NewService) — the in-memory equivalent of reopening a WAL.
+func NewMemJournal(ops ...Op) *MemJournal {
+	return &MemJournal{ops: ops}
+}
+
+// Append implements Journal.
+func (j *MemJournal) Append(op Op) error {
+	j.ops = append(j.ops, op)
+	return nil
+}
+
+// Ops implements Journal; the returned slice is a copy.
+func (j *MemJournal) Ops() []Op {
+	return append([]Op(nil), j.ops...)
+}

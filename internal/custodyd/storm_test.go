@@ -1,0 +1,139 @@
+package custodyd
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/xrand"
+)
+
+// stormEvent is one scheduled storm action at a simulated time.
+type stormEvent struct {
+	at   float64
+	kind string // "inject" | "restore" | "crash"
+	f    chaos.Fault
+}
+
+// stormPlan draws a seeded mixed-fault schedule with six daemon-crash
+// cycles and flattens it into time-ordered events. Both storm runs (with
+// and without crashes) consume the identical schedule.
+func stormPlan(cfg Config) []stormEvent {
+	profile := chaos.Profile{
+		Partitions:        1,
+		LinkDegrades:      1,
+		ExecutorCrashes:   2,
+		NodeFlaps:         1,
+		SlowDisks:         1,
+		FlakyDataNodes:    1,
+		StaleWindows:      1,
+		DaemonCrashes:     6,
+		MeanDurationSec:   4,
+		DegradeFactor:     0.1,
+		SlowDiskFactor:    0.2,
+		PartitionFraction: 0.25,
+	}
+	faults := chaos.Plan(profile, 30, cfg.Nodes, cfg.Nodes*cfg.ExecutorsPerNode, xrand.New(7))
+	driverFaults, crashes := chaos.Split(faults)
+	var evs []stormEvent
+	for _, f := range driverFaults {
+		evs = append(evs, stormEvent{at: f.At, kind: "inject", f: f})
+		evs = append(evs, stormEvent{at: f.At + f.Duration, kind: "restore", f: f})
+	}
+	for _, f := range crashes {
+		evs = append(evs, stormEvent{at: f.At, kind: "crash", f: f})
+	}
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].at < evs[j].at })
+	return evs
+}
+
+// runStorm drives the schedule through a Service. Crash events — honored
+// only when withCrashes is set — kill the incarnation and recover a fresh
+// one from the intent log, asserting the digest survives the cycle; the
+// time advancement they cause is identical in both runs, so the committed
+// op sequences (and therefore final digests) must match. AuditEveryOp is
+// on, so every fault application, reversal, and round is audited and any
+// invariant violation fails the commit.
+func runStorm(t *testing.T, evs []stormEvent, withCrashes bool) (digest string, cycles int) {
+	t.Helper()
+	cfg := testConfig()
+	jnl := NewMemJournal()
+	svc, err := NewService(cfg, jnl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := svc.Register("alice"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Register("bob"); err != nil {
+		t.Fatal(err)
+	}
+	for i, kind := range []string{"WordCount", "Sort", "PageRank", "Sort", "WordCount", "PageRank"} {
+		if _, err := svc.Submit(i%2, kind, i%len(svc.Files())); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	now := 0.0
+	for _, ev := range evs {
+		if ev.at > now {
+			must(svc.Round(ev.at-now, false))
+			now = ev.at
+		}
+		switch ev.kind {
+		case "inject":
+			must(svc.InjectFault(ev.f))
+		case "restore":
+			must(svc.RestoreFault(ev.f))
+		case "crash":
+			if !withCrashes {
+				continue
+			}
+			before := svc.Digest()
+			rejnl := NewMemJournal(jnl.Ops()...)
+			recovered, err := NewService(cfg, rejnl)
+			if err != nil {
+				t.Fatalf("crash cycle %d at t=%.2f: recovery failed: %v", cycles+1, ev.at, err)
+			}
+			if got := recovered.Digest(); got != before {
+				t.Fatalf("crash cycle %d at t=%.2f: recovered digest %s != pre-crash %s", cycles+1, ev.at, got, before)
+			}
+			svc, jnl = recovered, rejnl
+			cycles++
+		}
+	}
+	must(svc.Drain())
+	if err := svc.Driver().Audit(); err != nil {
+		t.Fatalf("final audit: %v", err)
+	}
+	if !svc.Idle() {
+		t.Fatalf("storm workload did not finish: %d submitted, %d finished", svc.JobsSubmitted(), svc.JobsFinished())
+	}
+	return svc.Digest(), cycles
+}
+
+// TestDaemonCrashStorm is the acceptance gate: a seeded mixed-fault storm
+// with at least five daemon kill/restart cycles mid-workload completes with
+// zero audit violations, every cycle recovers digest-identical state, and
+// the final digest is byte-identical to an uncrashed run of the same
+// schedule.
+func TestDaemonCrashStorm(t *testing.T) {
+	evs := stormPlan(testConfig())
+	crashed, cycles := runStorm(t, evs, true)
+	if cycles < 5 {
+		t.Fatalf("storm performed %d crash cycles, want >= 5", cycles)
+	}
+	clean, zero := runStorm(t, evs, false)
+	if zero != 0 {
+		t.Fatalf("uncrashed run performed %d crash cycles", zero)
+	}
+	if crashed != clean {
+		t.Fatalf("crashed-run digest %s != uncrashed-run digest %s", crashed, clean)
+	}
+}

@@ -84,8 +84,14 @@ func (c Command) String() string {
 	switch c.Op {
 	case OpAdvanceClock:
 		return fmt.Sprintf("%s %.2fs", c.Op, c.F)
-	case OpSubmitApp, OpGrantRound, OpCompleteTask:
+	case OpSubmitApp, OpGrantRound, OpCompleteTask, OpSrvCrash, OpSrvDrain, OpSrvRegister:
 		return string(c.Op)
+	case OpSrvRound:
+		mode := "normal"
+		if c.A%2 == 1 {
+			mode = "degraded"
+		}
+		return fmt.Sprintf("%s %.2fs %s", c.Op, c.F, mode)
 	default:
 		return fmt.Sprintf("%s a=%d b=%d", c.Op, c.A, c.B)
 	}

@@ -17,7 +17,7 @@ import (
 // trace.Event.
 type Record struct {
 	T     float64 `json:"t"`
-	Kind  string  `json:"kind"` // round-begin | decision | grant | audit | fault-noop
+	Kind  string  `json:"kind"` // round-begin | decision | grant | audit | fault-noop | mode
 	Round int     `json:"round"`
 	Seq   int     `json:"seq"`
 	Phase string  `json:"phase,omitempty"`
@@ -142,6 +142,56 @@ func (s *CSVSink) Close() error {
 	return nil
 }
 
+// Counts aggregates the record stream by kind — the tallies behind the
+// OpenMetrics counters. CountingSink and OpenMetricsSink both accumulate
+// one; services can snapshot it to render a live exposition.
+type Counts struct {
+	Decisions   int
+	Grants      int
+	Audits      int
+	Violations  int
+	FaultNoops  int
+	ModeChanges int
+}
+
+// observe tallies one record into the counts.
+func (n *Counts) observe(r Record) {
+	switch r.Kind {
+	case "decision":
+		n.Decisions++
+	case "grant":
+		n.Grants++
+	case "audit":
+		n.Audits++
+		if r.Violations > 0 {
+			n.Violations += r.Violations
+		}
+	case "fault-noop":
+		n.FaultNoops++
+	case "mode":
+		n.ModeChanges++
+	}
+}
+
+// CountingSink tallies the record stream without writing anywhere. A
+// long-running service attaches one to feed a live /metrics exposition via
+// RenderOpenMetrics while the stream itself goes to file sinks.
+type CountingSink struct {
+	n Counts
+}
+
+// Emit implements Sink.
+func (s *CountingSink) Emit(r Record) error {
+	s.n.observe(r)
+	return nil
+}
+
+// Close implements Sink.
+func (s *CountingSink) Close() error { return nil }
+
+// Counts returns a snapshot of the tallies so far.
+func (s *CountingSink) Counts() Counts { return s.n }
+
 // OpenMetricsSink counts the record stream and, on Close, writes an
 // OpenMetrics text exposition derived from those counts, the flight
 // recorder, and (when bound) the run's metrics.Collector. Collector is a
@@ -152,24 +202,12 @@ type OpenMetricsSink struct {
 	Collector func() *metrics.Collector
 	Flight    *FlightRecorder
 
-	decisions, grants, audits, violations, faultNoops int
+	n Counts
 }
 
 // Emit implements Sink.
 func (s *OpenMetricsSink) Emit(r Record) error {
-	switch r.Kind {
-	case "decision":
-		s.decisions++
-	case "grant":
-		s.grants++
-	case "audit":
-		s.audits++
-		if r.Violations > 0 {
-			s.violations += r.Violations
-		}
-	case "fault-noop":
-		s.faultNoops++
-	}
+	s.n.observe(r)
 	return nil
 }
 
@@ -179,11 +217,7 @@ func (s *OpenMetricsSink) Close() error {
 	if s.Collector != nil {
 		col = s.Collector()
 	}
-	err := writeOpenMetrics(s.W, col, s.Flight, omCounts{
-		decisions: s.decisions, grants: s.grants,
-		audits: s.audits, violations: s.violations, faultNoops: s.faultNoops,
-	})
-	if err != nil {
+	if err := RenderOpenMetrics(s.W, col, s.Flight, s.n); err != nil {
 		return err
 	}
 	if c, ok := s.W.(io.Closer); ok {
@@ -192,8 +226,15 @@ func (s *OpenMetricsSink) Close() error {
 	return nil
 }
 
-type omCounts struct {
-	decisions, grants, audits, violations, faultNoops int
+// Metric is one extra exposition line appended by RenderOpenMetrics — the
+// hook for service-level series (queue depth, shed counts) that live above
+// the provenance stream. Kind is "counter" or "gauge"; counters follow the
+// OpenMetrics convention of a _total-suffixed sample.
+type Metric struct {
+	Name string
+	Help string
+	Kind string // "counter" | "gauge"
+	Val  float64
 }
 
 // jctBuckets are the fixed upper bounds of the job-completion-time
@@ -201,12 +242,14 @@ type omCounts struct {
 // expositions from different runs are comparable.
 var jctBuckets = []float64{5, 10, 20, 40, 80, 160, 320}
 
-// writeOpenMetrics renders the OpenMetrics text exposition: counters and
-// gauges from the collector (locality percentages, retries, blacklist
-// events), a fixed-bucket JCT histogram, and flight-recorder gauges
-// (fairness-heap size, retained/dropped records). Ends with "# EOF" as the
-// format requires.
-func writeOpenMetrics(w io.Writer, col *metrics.Collector, fr *FlightRecorder, n omCounts) error {
+// RenderOpenMetrics renders one complete OpenMetrics text exposition:
+// counters and gauges from the collector (locality percentages, retries,
+// blacklist events), a fixed-bucket JCT histogram, flight-recorder gauges
+// (fairness-heap size, retained/dropped records), and any extra
+// service-level series. The output is a single buffered write ending with
+// exactly one "# EOF" terminator, so a live /metrics endpoint can serve
+// each render as one atomic page even under concurrent scrapes.
+func RenderOpenMetrics(w io.Writer, col *metrics.Collector, fr *FlightRecorder, n Counts, extra ...Metric) error {
 	var b strings.Builder
 	counter := func(name, help string, v int) {
 		fmt.Fprintf(&b, "# TYPE %s counter\n# HELP %s %s\n%s_total %d\n", name, name, help, name, v)
@@ -215,11 +258,12 @@ func writeOpenMetrics(w io.Writer, col *metrics.Collector, fr *FlightRecorder, n
 		fmt.Fprintf(&b, "# TYPE %s gauge\n# HELP %s %s\n%s %s\n", name, name, help, name, strconv.FormatFloat(v, 'g', -1, 64))
 	}
 
-	counter("custody_decisions", "Algorithm 1 picks recorded", n.decisions)
-	counter("custody_grants", "executor slots granted", n.grants)
-	counter("custody_audits", "driver invariant audits run", n.audits)
-	counter("custody_audit_violations", "invariant violations found by audits", n.violations)
-	counter("custody_fault_noops", "chaos faults that found nothing to break", n.faultNoops)
+	counter("custody_decisions", "Algorithm 1 picks recorded", n.Decisions)
+	counter("custody_grants", "executor slots granted", n.Grants)
+	counter("custody_audits", "driver invariant audits run", n.Audits)
+	counter("custody_audit_violations", "invariant violations found by audits", n.Violations)
+	counter("custody_fault_noops", "chaos faults that found nothing to break", n.FaultNoops)
+	counter("custody_mode_changes", "degraded-mode ladder transitions", n.ModeChanges)
 
 	if fr != nil {
 		apps, execs := fr.LastRound()
@@ -263,6 +307,14 @@ func writeOpenMetrics(w io.Writer, col *metrics.Collector, fr *FlightRecorder, n
 		fmt.Fprintf(&b, "custody_jct_seconds_bucket{le=\"+Inf\"} %d\n", len(jct))
 		fmt.Fprintf(&b, "custody_jct_seconds_sum %s\n", strconv.FormatFloat(sum, 'g', -1, 64))
 		fmt.Fprintf(&b, "custody_jct_seconds_count %d\n", len(jct))
+	}
+
+	for _, m := range extra {
+		if m.Kind == "counter" {
+			counter(m.Name, m.Help, int(m.Val))
+		} else {
+			gauge(m.Name, m.Help, m.Val)
+		}
 	}
 
 	b.WriteString("# EOF\n")
@@ -387,6 +439,24 @@ func (h *Hub) Audit(violations int, detail string) {
 	}
 	r := blankRecord(h.now(), "audit", h.Flight.Rounds())
 	r.Violations = violations
+	r.Detail = detail
+	h.emit(r)
+}
+
+// Mode taps a service-mode transition (the custodyd degraded-mode ladder)
+// into the sinks: Reason carries the new mode ("degraded" or "normal") and
+// Detail the trigger, so overload degradation is visible in the same
+// provenance artifacts as the decisions it coarsens.
+func (h *Hub) Mode(degraded bool, detail string) {
+	if len(h.sinks) == 0 {
+		return
+	}
+	r := blankRecord(h.now(), "mode", h.Flight.Rounds())
+	if degraded {
+		r.Reason = "degraded"
+	} else {
+		r.Reason = "normal"
+	}
 	r.Detail = detail
 	h.emit(r)
 }
