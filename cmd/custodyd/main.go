@@ -48,10 +48,11 @@ func main() {
 		ckptN    = flag.Int("checkpoint-every", 8, "rounds between checkpoints")
 		jsonl    = flag.Bool("obsv-jsonl", false, "stream decision provenance to <dir>/obsv.jsonl")
 		csv      = flag.Bool("obsv-csv", false, "stream decision provenance to <dir>/obsv.csv")
+		hbMS     = flag.Int("heartbeat-timeout-ms", 10000, "revoke an executor whose tenant stops reporting it for this long (0 disables the reaper)")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *dir, *seed, *nodes, *tenants, *queueCap, *roundMS, *budgetMS, *ckptN, *jsonl, *csv); err != nil {
+	if err := run(*addr, *dir, *seed, *nodes, *tenants, *queueCap, *roundMS, *budgetMS, *ckptN, *hbMS, *jsonl, *csv); err != nil {
 		log.Printf("custodyd: %v", err)
 		os.Exit(1)
 	}
@@ -60,9 +61,12 @@ func main() {
 // run boots the server, serves the API until SIGTERM/SIGINT, then drains.
 // The wall clock and round ticker are injected here, at the binary edge —
 // everything under internal/ stays clock-free and deterministic.
-func run(addr, dir string, seed uint64, nodes, tenants, queueCap, roundMS, budgetMS, ckptN int, jsonl, csv bool) error {
+func run(addr, dir string, seed uint64, nodes, tenants, queueCap, roundMS, budgetMS, ckptN, hbMS int, jsonl, csv bool) error {
 	if nodes < 1 || tenants < 1 || queueCap < 1 || roundMS < 1 || budgetMS < 1 || ckptN < 1 {
 		return fmt.Errorf("-nodes, -tenants, -queue-cap, -round-ms, -round-budget-ms, and -checkpoint-every must all be at least 1 (run 'custodyd -h' for usage)")
+	}
+	if hbMS < 0 {
+		return fmt.Errorf("-heartbeat-timeout-ms must not be negative (0 disables the reaper)")
 	}
 	scfg := custodyd.DefaultConfig()
 	scfg.Seed = seed
@@ -72,17 +76,18 @@ func run(addr, dir string, seed uint64, nodes, tenants, queueCap, roundMS, budge
 	ticker := time.NewTicker(time.Duration(roundMS) * time.Millisecond)
 	defer ticker.Stop()
 	srv, err := custodyd.NewServer(custodyd.ServerConfig{
-		Service:         scfg,
-		Dir:             dir,
-		QueueCap:        queueCap,
-		BatchSize:       8,
-		CheckpointEvery: ckptN,
-		RoundBudget:     time.Duration(budgetMS) * time.Millisecond,
-		RoundInterval:   time.Duration(roundMS) * time.Millisecond,
-		Clock:           time.Now,
-		Tick:            ticker.C,
-		LogJSONL:        jsonl,
-		LogCSV:          csv,
+		Service:          scfg,
+		Dir:              dir,
+		QueueCap:         queueCap,
+		BatchSize:        8,
+		CheckpointEvery:  ckptN,
+		RoundBudget:      time.Duration(budgetMS) * time.Millisecond,
+		RoundInterval:    time.Duration(roundMS) * time.Millisecond,
+		HeartbeatTimeout: time.Duration(hbMS) * time.Millisecond,
+		Clock:            time.Now,
+		Tick:             ticker.C,
+		LogJSONL:         jsonl,
+		LogCSV:           csv,
 	})
 	if err != nil {
 		return err

@@ -32,6 +32,7 @@ func main() {
 		arrival  = flag.Float64("arrival", 4.0, "mean job inter-arrival time (s)")
 		wait     = flag.Float64("wait", 3.0, "delay-scheduling locality wait (s)")
 		seed     = flag.Uint64("seed", 1, "random seed")
+		shards   = flag.Int("shards", 1, "allocation-session build shards (custody manager only; plans are byte-identical at any value)")
 		spec     = flag.Bool("speculation", false, "enable speculative execution")
 		sched    = flag.String("scheduler", "delay", "task scheduler: delay | delay-taskset | fifo | locality-hard | quincy")
 		traceOut = flag.String("trace", "", "write an execution-timeline CSV to this file")
@@ -52,7 +53,7 @@ func main() {
 	if err := validateFlags(set, cliFlags{
 		manager: *mgr, scheduler: *sched, workload: *wl,
 		nodes: *nodes, execs: *execs, slots: *slots, apps: *apps, jobs: *jobs,
-		arrival: *arrival, wait: *wait,
+		shards: *shards, arrival: *arrival, wait: *wait,
 		mcMode: *mcMode, mcServer: *mcServer, mcSeeds: *mcSeeds, mcCmds: *mcCmds,
 		mcReplay: *mcReplay, mcOut: *mcOut,
 	}); err != nil {
@@ -75,6 +76,7 @@ func main() {
 		SlotsPerExecutor: *slots,
 		Seed:             *seed,
 		Manager:          custody.ManagerName(*mgr),
+		Shards:           *shards,
 		Scheduler:        *sched,
 		LocalityWaitSec:  *wait,
 		Speculation:      *spec,

@@ -19,7 +19,7 @@ var (
 type cliFlags struct {
 	manager, scheduler, workload string
 	nodes, execs, slots          int
-	apps, jobs                   int
+	apps, jobs, shards           int
 	arrival, wait                float64
 	mcMode, mcServer             bool
 	mcSeeds, mcCmds              int
@@ -57,11 +57,15 @@ func validateFlags(set map[string]bool, f cliFlags) error {
 		val  int
 	}{
 		{"nodes", f.nodes}, {"executors", f.execs}, {"slots", f.slots},
-		{"apps", f.apps}, {"jobs", f.jobs}, {"seeds", f.mcSeeds}, {"mc-cmds", f.mcCmds},
+		{"apps", f.apps}, {"jobs", f.jobs}, {"shards", f.shards},
+		{"seeds", f.mcSeeds}, {"mc-cmds", f.mcCmds},
 	} {
 		if c.val < 1 {
 			return fmt.Errorf("-%s must be at least 1, got %d", c.name, c.val)
 		}
+	}
+	if set["shards"] && f.shards > 1 && f.manager != "custody" {
+		return fmt.Errorf("-shards applies to the custody manager, not -manager %s", f.manager)
 	}
 	if f.arrival <= 0 {
 		return fmt.Errorf("-arrival must be positive, got %g", f.arrival)
@@ -79,7 +83,7 @@ func validateFlags(set map[string]bool, f cliFlags) error {
 			}
 		}
 	} else {
-		for _, name := range []string{"trace", "explain", "obsv-out", "speculation", "workload", "manager", "scheduler"} {
+		for _, name := range []string{"trace", "explain", "obsv-out", "speculation", "workload", "manager", "scheduler", "shards"} {
 			if set[name] {
 				return fmt.Errorf("-%s applies to simulation runs and contradicts -modelcheck", name)
 			}

@@ -1,0 +1,39 @@
+// Package core is a negative fixture: worker pools that break the
+// fork-join blessing inside a single-threaded deterministic leaf.
+package core
+
+import "sync"
+
+// Forked spawns under the blessing but never joins its workers.
+//
+//custody:workerpool build phases write disjoint partitions
+func Forked(parts []int) {
+	var wg sync.WaitGroup
+	for i := range parts {
+		wg.Add(1)
+		go forkWorker(&wg, parts, i)
+	}
+}
+
+func forkWorker(wg *sync.WaitGroup, parts []int, i int) {
+	defer wg.Done()
+	parts[i] = i
+}
+
+// Unblessed spawns without any annotation: the plain leaf ban applies.
+func Unblessed() {
+	go idle()
+}
+
+func idle() {}
+
+// Reasonless carries a blessing with no reason, which is itself an error,
+// and therefore does not lift the leaf ban either.
+//
+//custody:workerpool
+func Reasonless(parts []int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go forkWorker(&wg, parts, 0)
+	wg.Wait()
+}

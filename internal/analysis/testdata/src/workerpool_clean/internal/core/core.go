@@ -1,0 +1,24 @@
+// Package core is a positive fixture: a blessed fork-join worker pool
+// inside a single-threaded deterministic leaf. The annotation carries a
+// reason and every spawn is joined before the function returns, so the
+// goroutine rule stays silent.
+package core
+
+import "sync"
+
+// Build fans a partitioned build out to workers and joins them.
+//
+//custody:workerpool workers write disjoint partitions and are joined before any read
+func Build(parts []int) {
+	var wg sync.WaitGroup
+	for i := range parts {
+		wg.Add(1)
+		go buildWorker(&wg, parts, i)
+	}
+	wg.Wait()
+}
+
+func buildWorker(wg *sync.WaitGroup, parts []int, i int) {
+	defer wg.Done()
+	parts[i] = i
+}

@@ -1,0 +1,43 @@
+package cluster
+
+// RackShardFn returns a rack-affine node → shard assignment for the
+// cluster: every node of a rack lands on the same shard, chosen by a jump
+// consistent hash of the rack ID. The Custody manager installs it as
+// core.Options.ShardFn so the allocator's sharded round build keeps a
+// rack's executor indexes — and the rack-local fallback lookups that hit
+// them — inside one shard's partition.
+//
+// The returned function is pure and deterministic: it captures a
+// precomputed per-node table, never the live cluster, so concurrent build
+// workers can call it freely and the allocation plan cannot depend on
+// cluster mutation order. (The plan does not depend on the partition at
+// all — see DESIGN.md §14 — only build locality does.)
+func RackShardFn(c *Cluster, shards int) func(node int) int {
+	if shards < 1 {
+		shards = 1
+	}
+	m := make([]int, len(c.nodes))
+	for i, n := range c.nodes {
+		m[i] = rackJumpHash(uint64(n.Rack), shards)
+	}
+	return func(node int) int {
+		if node < 0 || node >= len(m) {
+			return 0
+		}
+		return m[node]
+	}
+}
+
+// rackJumpHash is Lamping & Veach's jump consistent hash (a private twin of
+// internal/core's — cluster sits below core in the layering, so it cannot
+// import it): O(ln buckets) and stable under bucket-count growth, so
+// resizing the shard count moves only ~1/shards of the racks.
+func rackJumpHash(key uint64, buckets int) int {
+	var b, j int64 = -1, 0
+	for j < int64(buckets) {
+		b = j
+		key = key*2862933555777941757 + 1
+		j = int64(float64(b+1) * (float64(int64(1)<<31) / float64((key>>33)+1)))
+	}
+	return int(b)
+}

@@ -1,0 +1,59 @@
+package cluster
+
+import "testing"
+
+func shardTestCluster(t *testing.T, nodes, rackSize int) *Cluster {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Nodes = nodes
+	cfg.ExecutorsPerNode = 1
+	cfg.RackSize = rackSize
+	return New(cfg)
+}
+
+// TestRackShardFnAffinity pins the rack-affinity contract: every node of a
+// rack maps to the same shard, and every shard index is in range.
+func TestRackShardFnAffinity(t *testing.T) {
+	c := shardTestCluster(t, 64, 4)
+	for _, shards := range []int{1, 2, 4, 16} {
+		fn := RackShardFn(c, shards)
+		rackShard := map[int]int{}
+		for _, n := range c.Nodes() {
+			s := fn(n.ID)
+			if s < 0 || s >= shards {
+				t.Fatalf("shards=%d: node %d mapped to out-of-range shard %d", shards, n.ID, s)
+			}
+			if prev, ok := rackShard[n.Rack]; ok && prev != s {
+				t.Fatalf("shards=%d: rack %d split across shards %d and %d", shards, n.Rack, prev, s)
+			}
+			rackShard[n.Rack] = s
+		}
+	}
+}
+
+// TestRackShardFnDeterministic pins purity: two independently built maps
+// over the same topology agree on every node, including out-of-range IDs.
+func TestRackShardFnDeterministic(t *testing.T) {
+	c := shardTestCluster(t, 40, 5)
+	a, b := RackShardFn(c, 8), RackShardFn(c, 8)
+	for id := -2; id < 50; id++ {
+		if a(id) != b(id) {
+			t.Fatalf("node %d: maps disagree (%d vs %d)", id, a(id), b(id))
+		}
+	}
+}
+
+// TestRackShardFnSpread sanity-checks balance: with many racks and few
+// shards, no shard may be empty.
+func TestRackShardFnSpread(t *testing.T) {
+	c := shardTestCluster(t, 128, 4) // 32 racks
+	const shards = 4
+	fn := RackShardFn(c, shards)
+	seen := map[int]bool{}
+	for _, n := range c.Nodes() {
+		seen[fn(n.ID)] = true
+	}
+	if len(seen) != shards {
+		t.Fatalf("32 racks over %d shards left some shard empty: populated %v", shards, seen)
+	}
+}

@@ -1,0 +1,13 @@
+//go:build !custodymutateshard
+
+package core
+
+// mutateShardTieStamp is the build-tag-gated seeded bug used by the model
+// checker's shard mutation smoke test (internal/modelcheck): when the
+// custodymutateshard tag is set, the sharded index build scans executors in
+// reverse, so per-node executor lists carry descending IDs — breaking the
+// ascending (executor ID, sequence) tie-stamp ordering that the merge
+// contract of DESIGN.md §14 relies on and making multi-shard rounds pick
+// the wrong (highest-ID) executor. In normal builds the constant is false
+// and the compiler eliminates the mutated branch entirely.
+const mutateShardTieStamp = false

@@ -1,0 +1,11 @@
+//go:build custodymutateshard
+
+package core
+
+// mutateShardTieStamp: the seeded sharding bug is live. See
+// mutate_shard_off.go for the contract; internal/modelcheck's
+// TestShardMutationSmoke must detect the resulting divergence from the
+// reference allocation and shrink it to a minimal reproducer, proving the
+// sharded differential battery has teeth. Never set this tag in a
+// production build.
+const mutateShardTieStamp = true

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/obsv"
+	"repro/internal/xrand"
+)
+
+// shardCounts is the differential battery's shard grid. 1 is the fully
+// sequential build the others must reproduce byte-for-byte.
+var shardCounts = []int{1, 2, 4, 8}
+
+// FuzzShardedEquivalence is the gate on the sharded round build: arbitrary
+// fuzz bytes decode into an allocation instance (same decoder as
+// FuzzAllocateEquivalence, Fig. 7 grid seeds included) and the sharded
+// Session at 2, 4, and 8 shards must produce plans byte-identical to both
+// AllocateReference and a 1-shard Session — cold, and across three warm
+// rounds with the demand/pool state advanced between rounds the way the
+// manager would. A hostile shard function (all nodes on one shard, and a
+// pathological alternation) is thrown in: the plan may not depend on the
+// partition.
+func FuzzShardedEquivalence(f *testing.F) {
+	f.Add(fig7Seed(25, 2, 2, 4, 4))
+	f.Add(fig7Seed(50, 2, 2, 4, 4))
+	f.Add(fig7Seed(100, 2, 2, 6, 4))
+	f.Add(fig7Seed(10, 3, 3, 2, 5))
+	f.Add([]byte{3, 2, 2, 1, 0, 1, 2, 0, 1, 2})
+	f.Add([]byte{8, 4, 1, 3, 3, 0, 0, 0, 0, 7, 7, 7})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		apps0, idle0 := decodeDiffInstance(data)
+		optSets := []Options{DefaultOptions(), {FillToBudget: false}, {FillToBudget: true, Intra: FairnessIntra{}}}
+		shardFns := []func(node int) int{nil, func(int) int { return 0 }, func(n int) int { return n & 1 }}
+		for oi, base := range optSets {
+			// Reference trajectory: frozen oracle + 1-shard warm session.
+			apps, idle := apps0, idle0
+			seq := NewSession()
+			var wantPlans []string
+			for round := 0; round < 3; round++ {
+				want := AllocateReference(apps, idle, base)
+				ws := fmt.Sprintf("%#v", want)
+				if gs := fmt.Sprintf("%#v", seq.Allocate(apps, idle, base)); gs != ws {
+					t.Fatalf("opts[%d] round %d: 1-shard session diverges from reference\nreference: %s\nfast path: %s", oi, round, ws, gs)
+				}
+				wantPlans = append(wantPlans, ws)
+				apps, idle = advanceRound(apps, idle, want)
+			}
+			for _, shards := range shardCounts[1:] {
+				for fi, fn := range shardFns {
+					opts := base
+					opts.Shards = shards
+					opts.ShardFn = fn
+					apps, idle := apps0, idle0
+					sess := NewSession()
+					for round := 0; round < 3; round++ {
+						got := sess.Allocate(apps, idle, opts)
+						if gs := fmt.Sprintf("%#v", got); gs != wantPlans[round] {
+							t.Fatalf("opts[%d] shards=%d fn[%d] round %d: sharded plan diverges\nreference: %s\n  sharded: %s",
+								oi, shards, fi, round, wantPlans[round], gs)
+						}
+						apps, idle = advanceRound(apps, idle, got)
+					}
+				}
+			}
+		}
+	})
+}
+
+// traceObserver renders the full provenance stream — round boundaries,
+// Algorithm 1 decisions, grants — to text, so two allocations can be
+// compared trace-byte for trace-byte, not just plan for plan.
+type traceObserver struct{ b strings.Builder }
+
+func (o *traceObserver) BeginRound(apps, execs int) { fmt.Fprintf(&o.b, "round %d %d\n", apps, execs) }
+func (o *traceObserver) Decide(d obsv.Decision)     { fmt.Fprintf(&o.b, "decide %#v\n", d) }
+func (o *traceObserver) Grant(g obsv.Grant)         { fmt.Fprintf(&o.b, "grant %#v\n", g) }
+
+// TestShardedDeterministicUnderShuffle is the sharding determinism
+// contract: 20 trials, each with independently shuffled input slices AND a
+// shard count drawn from {1, 2, 4, 8} in shuffled order, must produce
+// byte-identical decision traces (provenance stream + plan) to the
+// canonical 1-shard run — across three warm rounds. Goroutine interleaving
+// of the build workers varies freely between trials; none of it may leak
+// into the output.
+func TestShardedDeterministicUnderShuffle(t *testing.T) {
+	gen := xrand.New(0x5AAD)
+	apps, idle := genDemands(gen, 6, 20)
+
+	canonical := func(shards int, a []AppDemand, e []ExecInfo) ([]string, [][]AppDemand, [][]ExecInfo) {
+		opts := DefaultOptions()
+		opts.Shards = shards
+		var traces []string
+		var roundApps [][]AppDemand
+		var roundIdle [][]ExecInfo
+		sess := NewSession()
+		for r := 0; r < 3; r++ {
+			obs := &traceObserver{}
+			opts.Observer = obs
+			roundApps = append(roundApps, a)
+			roundIdle = append(roundIdle, e)
+			p := sess.Allocate(a, e, opts)
+			traces = append(traces, obs.b.String()+fmt.Sprintf("%#v", p))
+			a, e = advanceRound(a, e, p)
+		}
+		return traces, roundApps, roundIdle
+	}
+	want, roundApps, roundIdle := canonical(1, apps, idle)
+
+	shuf := gen.Fork("shuffle")
+	counts := append([]int(nil), shardCounts...)
+	for trial := 0; trial < 20; trial++ {
+		shuf.Shuffle(len(counts), func(i, j int) { counts[i], counts[j] = counts[j], counts[i] })
+		shards := counts[0]
+		opts := DefaultOptions()
+		opts.Shards = shards
+		warm := NewSession()
+		for r := 0; r < 3; r++ {
+			as, es := shuffled(shuf, roundApps[r], roundIdle[r])
+			obs := &traceObserver{}
+			opts.Observer = obs
+			p := warm.Allocate(as, es, opts)
+			got := obs.b.String() + fmt.Sprintf("%#v", p)
+			if got != want[r] {
+				t.Fatalf("trial %d shards=%d round %d: trace differs from canonical 1-shard run\n got: %s\nwant: %s",
+					trial, shards, r, got, want[r])
+			}
+		}
+	}
+}
+
+// TestShardCountChangeMidSession pins warm-state hygiene: one Session
+// driven through rounds whose shard count changes every round (the
+// modelcheck set-shards op does exactly this) must keep matching the
+// reference.
+func TestShardCountChangeMidSession(t *testing.T) {
+	gen := xrand.New(0xC0DE)
+	apps, idle := genDemands(gen, 5, 16)
+	sess := NewSession()
+	seq := []int{1, 4, 2, 8, 1, 3}
+	a, e := apps, idle
+	for r, shards := range seq {
+		opts := DefaultOptions()
+		opts.Shards = shards
+		want := fmt.Sprintf("%#v", AllocateReference(a, e, DefaultOptions()))
+		p := sess.Allocate(a, e, opts)
+		if got := fmt.Sprintf("%#v", p); got != want {
+			t.Fatalf("round %d (shards=%d): diverges from reference\n got: %s\nwant: %s", r, shards, got, want)
+		}
+		a, e = advanceRound(a, e, p)
+	}
+}

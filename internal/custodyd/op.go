@@ -19,6 +19,12 @@ const (
 	OpInjectFault  OpKind = "inject-fault"
 	OpRestoreFault OpKind = "restore-fault"
 	OpDrain        OpKind = "drain"
+	// OpRevokeExec releases one executor back to the pool — the Server
+	// commits it when an executor misses its heartbeat deadline. Liveness is
+	// a wall-clock judgement, so the clock-side decision lives in the
+	// Server; only the committed revocation reaches the Service, which keeps
+	// replay independent of when heartbeats actually arrived.
+	OpRevokeExec OpKind = "revoke-exec"
 )
 
 // Op is one logged intent. Seq is assigned at commit time and must be
@@ -44,6 +50,9 @@ type Op struct {
 
 	// inject-fault / restore-fault
 	Fault *chaos.Fault `json:"fault,omitempty"`
+
+	// revoke-exec
+	Exec int `json:"exec,omitempty"`
 }
 
 func (op Op) String() string {
@@ -59,6 +68,8 @@ func (op Op) String() string {
 			return fmt.Sprintf("%d %s %s node=%d exec=%d", op.Seq, op.Kind, op.Fault.Kind, op.Fault.Node, op.Fault.Exec)
 		}
 		return fmt.Sprintf("%d %s <nil>", op.Seq, op.Kind)
+	case OpRevokeExec:
+		return fmt.Sprintf("%d %s exec=%d", op.Seq, op.Kind, op.Exec)
 	default:
 		return fmt.Sprintf("%d %s", op.Seq, op.Kind)
 	}

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
@@ -44,6 +45,13 @@ type ServerConfig struct {
 	// RoundInterval is the expected pacing of Tick — used only to estimate
 	// queue wait for Retry-After headers and request budgets.
 	RoundInterval time.Duration
+
+	// HeartbeatTimeout is the executor liveness deadline: an executor that
+	// a tenant has reported via /v1/heartbeat and then stayed silent about
+	// for this long is revoked (a committed revoke-exec op releases it back
+	// to the pool) at the next round. Zero disables the reaper; it also
+	// requires Clock, since liveness is a wall-clock judgement.
+	HeartbeatTimeout time.Duration
 
 	// Clock supplies wall time and Tick paces rounds; both are injected
 	// from the cmd/ edge so internal code stays clock-free. A nil Clock
@@ -130,6 +138,10 @@ type Server struct {
 	//custody:guardedby mu
 	sinceCkpt int
 	//custody:guardedby mu
+	lastBeat map[int]time.Time
+	//custody:guardedby mu
+	reaped int
+	//custody:guardedby mu
 	lastErr error
 	//custody:guardedby mu
 	snap Snapshot
@@ -183,6 +195,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	s.wal = wal
 	s.boot = boot
 	s.queues = make([][]submission, cfg.Service.MaxTenants)
+	s.lastBeat = make(map[int]time.Time)
 	s.publishLocked()
 	return s, nil
 }
@@ -241,6 +254,9 @@ func (s *Server) RoundOnce() {
 func (s *Server) roundLocked() {
 	if s.closed || s.svc.Broken() != nil {
 		return
+	}
+	if s.cfg.Clock != nil && s.cfg.HeartbeatTimeout > 0 {
+		s.reapSilentLocked(s.cfg.Clock())
 	}
 	var start time.Time
 	if s.cfg.Clock != nil {
@@ -327,6 +343,36 @@ func (s *Server) ladderLocked(d time.Duration) {
 	}
 }
 
+// reapSilentLocked revokes every tracked executor whose last heartbeat is
+// older than the deadline. Executors the normal flow already returned to
+// the pool are dropped from tracking without an op — only a still-owned
+// silent executor is worth a committed revocation. Candidates are revoked
+// in ascending ID order so the intent log (and therefore replay) does not
+// depend on map iteration order.
+//
+//custody:holds mu
+func (s *Server) reapSilentLocked(now time.Time) {
+	var silent []int
+	for id, last := range s.lastBeat {
+		if !s.svc.ExecOwned(id) {
+			delete(s.lastBeat, id)
+			continue
+		}
+		if now.Sub(last) >= s.cfg.HeartbeatTimeout {
+			silent = append(silent, id)
+		}
+	}
+	sort.Ints(silent)
+	for _, id := range silent {
+		delete(s.lastBeat, id)
+		if err := s.svc.RevokeExec(id); err != nil {
+			s.lastErr = err
+			continue
+		}
+		s.reaped++
+	}
+}
+
 //custody:holds mu
 func (s *Server) checkpointLocked() {
 	s.sinceCkpt = 0
@@ -354,6 +400,7 @@ func (s *Server) publishLocked() {
 		{Name: "custody_submissions_shed", Help: "submissions refused with 429", Kind: "counter", Val: float64(s.shed)},
 		{Name: "custody_degraded_mode", Help: "1 while the degraded-mode ladder is tripped", Kind: "gauge", Val: degraded},
 		{Name: "custody_wal_seq", Help: "last committed intent-log sequence number", Kind: "gauge", Val: float64(s.svc.Seq())},
+		{Name: "custody_execs_reaped", Help: "executors revoked for missing the heartbeat deadline", Kind: "counter", Val: float64(s.reaped)},
 	}
 	if err := obsv.RenderOpenMetrics(&buf, s.svc.Driver().Collector(), s.svc.Hub().Flight, s.counts.Counts(), extras...); err != nil {
 		s.lastErr = err
@@ -559,7 +606,8 @@ func (s *Server) retryAfterLocked() string {
 
 func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	var req struct {
-		Tenant int `json:"tenant"`
+		Tenant int   `json:"tenant"`
+		Execs  []int `json:"execs"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad request body: " + err.Error()})
@@ -571,10 +619,23 @@ func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("unknown tenant %d", req.Tenant)})
 		return
 	}
+	// Reported executor IDs drive liveness: each one the tenant actually
+	// owns refreshes its deadline. Only meaningful with a wall clock.
+	tracked := 0
+	if s.cfg.Clock != nil {
+		now := s.cfg.Clock()
+		for _, id := range req.Execs {
+			if s.svc.OwnsExec(req.Tenant, id) {
+				s.lastBeat[id] = now
+				tracked++
+			}
+		}
+	}
 	resp := map[string]any{
 		"sim_time": s.snap.SimTime,
 		"degraded": s.degraded,
 		"seq":      s.snap.Seq,
+		"tracked":  tracked,
 	}
 	for _, ts := range s.snap.Tenants {
 		if ts.Tenant == req.Tenant {
@@ -599,6 +660,7 @@ type statusResponse struct {
 	Queued             int    `json:"queued"`
 	Accepted           int    `json:"accepted"`
 	Shed               int    `json:"shed"`
+	ExecsReaped        int    `json:"execs_reaped"`
 	Draining           bool   `json:"draining"`
 	LastError          string `json:"last_error,omitempty"`
 }
@@ -617,6 +679,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Queued:             s.queued,
 		Accepted:           s.accepted,
 		Shed:               s.shed,
+		ExecsReaped:        s.reaped,
 		Draining:           s.draining,
 	}
 	if s.lastErr != nil {

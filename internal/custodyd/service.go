@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/app"
 	"repro/internal/chaos"
+	"repro/internal/cluster"
 	"repro/internal/driver"
 	"repro/internal/hdfs"
 	"repro/internal/manager"
@@ -43,6 +44,7 @@ type Service struct {
 	drains         int
 	faultsApplied  int
 	faultsReverted int
+	revocations    int
 
 	// broken is set when an op panicked mid-apply, leaving the stack in an
 	// unknown state; every subsequent commit refuses with it.
@@ -146,6 +148,39 @@ func (s *Service) Drain() error {
 	return s.commit(Op{Kind: OpDrain})
 }
 
+// RevokeExec logs and applies the revocation of one executor presumed dead
+// — the Server's heartbeat reaper calls it when an executor goes silent
+// past the deadline. An idle owned executor is released back to the pool; a
+// busy one is failed so its running tasks reschedule; a dead or already
+// pool-resident one makes the op a no-op, live and on replay alike.
+func (s *Service) RevokeExec(exec int) error {
+	return s.commit(Op{Kind: OpRevokeExec, Exec: exec})
+}
+
+// ExecOwned reports whether the executor currently belongs to any tenant —
+// the reaper's gate for not logging revocations of executors the normal
+// flow already returned to the pool.
+func (s *Service) ExecOwned(exec int) bool {
+	cl := s.drv.Cluster()
+	if exec < 0 || exec >= cl.TotalExecutors() {
+		return false
+	}
+	return cl.Executor(exec).Owner() != cluster.NoApp
+}
+
+// OwnsExec reports whether the executor currently belongs to the tenant —
+// the heartbeat handler's filter for which reported executor IDs to track.
+func (s *Service) OwnsExec(tenant, exec int) bool {
+	if tenant < 0 || tenant >= len(s.names) {
+		return false
+	}
+	cl := s.drv.Cluster()
+	if exec < 0 || exec >= cl.TotalExecutors() {
+		return false
+	}
+	return cl.Executor(exec).Owner() == s.apps[tenant].ID
+}
+
 // commit is the write-ahead path: validate, append, apply. Validation must
 // precede the append so a rejected op can never reach the log (a logged op
 // must re-apply cleanly on replay).
@@ -194,6 +229,10 @@ func (s *Service) checkOp(op Op) error {
 		if op.Fault.Kind == chaos.DaemonCrash {
 			return fmt.Errorf("custodyd: daemon-crash is consumed by the harness, not logged as a driver fault")
 		}
+	case OpRevokeExec:
+		if op.Exec < 0 || op.Exec >= s.drv.Cluster().TotalExecutors() {
+			return fmt.Errorf("custodyd: executor %d out of range (%d executors)", op.Exec, s.drv.Cluster().TotalExecutors())
+		}
 	case OpDrain:
 	default:
 		return fmt.Errorf("custodyd: unknown op kind %q", op.Kind)
@@ -241,6 +280,22 @@ func (s *Service) apply(op Op) (err error) {
 		if chaos.Revert(s.drv, *op.Fault) {
 			s.faultsReverted++
 		}
+	case OpRevokeExec:
+		e := s.drv.Cluster().Executor(op.Exec)
+		switch {
+		case !e.Alive() || e.Owner() == cluster.NoApp:
+			// Already dead or already back in the pool: the revocation was
+			// raced by the normal flow and replays as the same no-op.
+		case e.Running() == 0:
+			s.drv.Release(e)
+			s.revocations++
+		default:
+			// Presumed dead mid-task: releasing a busy executor would strand
+			// its attempts, so fail it — the resilience layer reschedules the
+			// running tasks and the manager replaces the capacity data-aware.
+			s.drv.InjectExecutorFail(op.Exec)
+			s.revocations++
+		}
 	case OpDrain:
 		eng.Run()
 		s.drains++
@@ -274,6 +329,10 @@ func (s *Service) Tenants() int { return len(s.names) }
 
 // JobsSubmitted returns the total accepted submissions.
 func (s *Service) JobsSubmitted() int { return s.submitted }
+
+// ExecRevocations returns how many revoke-exec ops actually moved an
+// executor (conditional no-ops excluded).
+func (s *Service) ExecRevocations() int { return s.revocations }
 
 // JobsFinished returns the total completed jobs.
 func (s *Service) JobsFinished() int {
@@ -386,8 +445,8 @@ func (s *Service) Digest() string {
 		fmt.Fprintf(&b, format, args...)
 		b.WriteByte('\n')
 	}
-	line("seq=%d t=%.6f rounds=%d degraded=%d drains=%d faults=%d/%d",
-		s.seq, s.drv.Engine().Now(), s.rounds, s.degradedRounds, s.drains, s.faultsApplied, s.faultsReverted)
+	line("seq=%d t=%.6f rounds=%d degraded=%d drains=%d faults=%d/%d revoked=%d",
+		s.seq, s.drv.Engine().Now(), s.rounds, s.degradedRounds, s.drains, s.faultsApplied, s.faultsReverted, s.revocations)
 	for _, ts := range s.tenantStatuses() {
 		line("tenant %d name=%q jobs=%d done=%d pending=%d execs=%v",
 			ts.Tenant, ts.Name, ts.Jobs, ts.Done, ts.Pending, ts.Execs)

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/driver"
+	"repro/internal/manager"
+	"repro/internal/trace"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// goldenRunSharded is goldenRun with the allocator's build shard count
+// forced. For non-Custody managers the option is inert (they never run the
+// core allocator), which the sharded golden check still exercises on
+// purpose: a -shards flag must never change any manager's timeline.
+func goldenRunSharded(kind workload.Kind, mk ManagerKind, shards int) (*trace.Recorder, error) {
+	spec := workload.DefaultSpec(kind)
+	spec.Apps = 2
+	spec.JobsPerApp = 3
+	sched := workload.Generate(spec, xrand.New(7))
+	cfg := driver.DefaultConfig()
+	cfg.Seed = 7
+	cfg.Nodes = 16
+	cfg.RackSize = 4
+	cfg.Manager = NewManager(mk, 7)
+	if m, ok := cfg.Manager.(*manager.Custody); ok {
+		m.Opts.Shards = shards
+	}
+	rec := trace.NewRecorder()
+	cfg.Tracer = rec
+	if _, err := driver.RunSchedule(cfg, sched); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// TestGoldenTracesSharded pins the merge contract end-to-end: every golden
+// timeline recorded by the sequential allocator must stay byte-identical
+// when the session build runs on 2, 4, or 8 parallel shards (DESIGN.md
+// §14). Custody goldens run the full shard sweep; the Standalone goldens
+// run once at 4 shards to pin that the option cannot leak into managers
+// that never touch the core allocator.
+func TestGoldenTracesSharded(t *testing.T) {
+	for _, kind := range workload.Kinds() {
+		for _, mk := range []ManagerKind{Standalone, Custody} {
+			counts := []int{2, 4, 8}
+			if mk == Standalone {
+				counts = []int{4}
+			}
+			for _, shards := range counts {
+				kind, mk, shards := kind, mk, shards
+				name := fmt.Sprintf("%s-%s", strings.ToLower(string(kind)), mk)
+				t.Run(fmt.Sprintf("%s/shards-%d", name, shards), func(t *testing.T) {
+					rec, err := goldenRunSharded(kind, mk, shards)
+					if err != nil {
+						t.Fatal(err)
+					}
+					var buf bytes.Buffer
+					if err := rec.WriteCSV(&buf); err != nil {
+						t.Fatal(err)
+					}
+					path := filepath.Join("testdata", "golden", name+".trace")
+					want, err := os.ReadFile(path)
+					if err != nil {
+						t.Fatalf("missing golden trace: %v (regenerate with -update)", err)
+					}
+					if !bytes.Equal(buf.Bytes(), want) {
+						d := firstDiffLine(buf.Bytes(), want)
+						t.Fatalf("%d-shard trace diverges from golden %s at line %d:\n got: %s\nwant: %s",
+							shards, path, d, lineAt(buf.Bytes(), d), lineAt(want, d))
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestGoldenShardedTrace pins a canonical trace that was RECORDED under a
+// 4-shard build on a topology none of the other goldens use (32 nodes ×
+// 8-node racks, 3 apps), so the sharded path has a golden of its own: a
+// regression that somehow bit only wide sharded builds cannot hide behind
+// the sequential fixtures. Regenerate after an intentional behavior change
+// with:
+//
+//	go test ./internal/experiments -run TestGoldenShardedTrace -update
+func TestGoldenShardedTrace(t *testing.T) {
+	spec := workload.DefaultSpec(workload.WordCount)
+	spec.Apps = 3
+	spec.JobsPerApp = 2
+	sched := workload.Generate(spec, xrand.New(11))
+	cfg := driver.DefaultConfig()
+	cfg.Seed = 11
+	cfg.Nodes = 32
+	cfg.RackSize = 8
+	m := manager.NewCustody()
+	m.Opts.Shards = 4
+	cfg.Manager = m
+	rec := trace.NewRecorder()
+	cfg.Tracer = rec
+	if _, err := driver.RunSchedule(cfg, sched); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "golden", "wordcount-custody-shards4.trace")
+	if *updateGolden {
+		blessGolden(t, path, buf.Bytes())
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden trace: %v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		d := firstDiffLine(buf.Bytes(), want)
+		t.Fatalf("trace diverges from golden %s at line %d:\n got: %s\nwant: %s",
+			path, d, lineAt(buf.Bytes(), d), lineAt(want, d))
+	}
+}

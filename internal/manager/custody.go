@@ -1,6 +1,7 @@
 package manager
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/app"
@@ -24,6 +25,14 @@ type Custody struct {
 	// paper's experiments leave applications on unmodified delay
 	// scheduling, which ignores the suggestions.
 	EmitHints bool
+	// SelfCheck re-runs every allocation round through the frozen
+	// core.AllocateReference oracle and records the first divergence in
+	// SelfCheckErr. Testing hook: the model-based checker turns it on so a
+	// sharded-build bug surfaces as an invariant violation at the round
+	// that introduced it instead of a silent misallocation rounds later.
+	SelfCheck bool
+	// SelfCheckErr holds the first divergence SelfCheck found, or nil.
+	SelfCheckErr error
 
 	// sess is the warm incremental allocation state (locality indices, pool
 	// indexes, arenas) reused across driver round-trips; demandBuf and
@@ -32,6 +41,11 @@ type Custody struct {
 	sess      *core.Session
 	demandBuf []core.AppDemand
 	idleBuf   []core.ExecInfo
+
+	// autoShardFor remembers the shard count the auto-installed rack-affine
+	// ShardFn was built for, so a shard-count change rebuilds the map. 0
+	// when the caller supplied (or nothing installed) its own ShardFn.
+	autoShardFor int
 }
 
 // NewCustody builds the Custody manager with the paper's configuration.
@@ -229,9 +243,26 @@ func (c *Custody) reallocate(env Env) {
 	if c.sess == nil {
 		c.sess = core.NewSession()
 	}
+	// Sharded builds default to rack affinity: install (and on a shard-count
+	// change rebuild) the cluster's rack-affine shard map unless the caller
+	// supplied a ShardFn of their own. autoShardFor distinguishes "ours" from
+	// "theirs" so a caller-provided map is never silently replaced.
+	if c.Opts.Shards > 1 && (c.Opts.ShardFn == nil || (c.autoShardFor != 0 && c.autoShardFor != c.Opts.Shards)) {
+		c.Opts.ShardFn = cluster.RackShardFn(cl, c.Opts.Shards)
+		c.autoShardFor = c.Opts.Shards
+	}
 	plan := c.sess.Allocate(demands, idle, c.Opts)
 	c.demandBuf = demands
 	c.idleBuf = idle
+	if c.SelfCheck && c.SelfCheckErr == nil {
+		refOpts := c.Opts
+		refOpts.Observer = nil
+		want := core.AllocateReference(demands, idle, refOpts)
+		if got, wantS := fmt.Sprintf("%#v", plan), fmt.Sprintf("%#v", want); got != wantS {
+			c.SelfCheckErr = fmt.Errorf("allocation diverged from reference oracle at reallocation %d:\n got  %s\n want %s",
+				env.Metrics().Reallocations, got, wantS)
+		}
+	}
 	for _, as := range plan.Assignments {
 		e := cl.Executor(as.Exec)
 		if e.Owner() != cluster.AppID(as.App) {

@@ -67,6 +67,11 @@ const (
 	// OpCompleteTask steps the engine until one more task finishes (or the
 	// queue drains).
 	OpCompleteTask Op = "complete-task"
+	// OpSetShards reconfigures the allocator's build shard count to
+	// 1 + A mod 8 for all subsequent rounds. Plans must stay byte-identical
+	// to the reference oracle for every count (DESIGN.md §14), which the
+	// harness's always-on manager self-check enforces.
+	OpSetShards Op = "set-shards"
 )
 
 // Command is one step of a checker sequence. A and B select targets, F is
@@ -84,6 +89,8 @@ func (c Command) String() string {
 	switch c.Op {
 	case OpAdvanceClock:
 		return fmt.Sprintf("%s %.2fs", c.Op, c.F)
+	case OpSetShards:
+		return fmt.Sprintf("%s %d", c.Op, shardTarget(c.A))
 	case OpSubmitApp, OpGrantRound, OpCompleteTask, OpSrvCrash, OpSrvDrain, OpSrvRegister:
 		return string(c.Op)
 	case OpSrvRound:
@@ -115,7 +122,7 @@ func Generate(seed uint64, n int) []Command {
 // enough faults and clock advances to explore the chaos surface.
 func genCommand(rng *xrand.Rand) Command {
 	c := Command{A: rng.Intn(64), B: rng.Intn(64)}
-	switch w := rng.Intn(20); {
+	switch w := rng.Intn(21); {
 	case w < 2:
 		c.Op = OpSubmitApp
 	case w < 6:
@@ -131,6 +138,8 @@ func genCommand(rng *xrand.Rand) Command {
 	case w < 17:
 		c.Op = OpAdvanceClock
 		c.F = rng.Range(0.1, 4.0)
+	case w < 18:
+		c.Op = OpSetShards
 	default:
 		c.Op = OpCompleteTask
 	}

@@ -128,6 +128,11 @@ func newHarness(seed uint64) *harness {
 	}
 	h.obs = newCheckObserver(slots, h.hub, report)
 	h.mgr.Opts.Observer = h.obs
+	// Re-run every round through the frozen reference oracle: observer
+	// invariants see fairness-key order but not which executor a tie
+	// resolved to, so a sharded-build tie-break bug is only visible as a
+	// plan divergence.
+	h.mgr.SelfCheck = true
 
 	for _, in := range []struct {
 		name   string
@@ -185,7 +190,17 @@ func (h *harness) apply(c Command) {
 				break
 			}
 		}
+	case OpSetShards:
+		h.mgr.Opts.Shards = shardTarget(c.A)
 	}
+}
+
+// shardTarget maps a command operand to a shard count in [1, 8].
+func shardTarget(a int) int {
+	if a < 0 {
+		a = -a
+	}
+	return 1 + a%8
 }
 
 // buildJob constructs one of four small job shapes; all input blocks come
@@ -304,6 +319,9 @@ func (h *harness) check() {
 	h.model.CheckReplicaMap(h.drv.NameNode(), h.files)
 	if err := h.drv.Audit(); err != nil {
 		h.violations = append(h.violations, Violation{Cmd: h.curCmd, Rule: "audit", Detail: err.Error(), App: -1, Job: -1})
+	}
+	if err := h.mgr.SelfCheckErr; err != nil {
+		h.violations = append(h.violations, Violation{Cmd: h.curCmd, Rule: "selfcheck", Detail: err.Error(), App: -1, Job: -1})
 	}
 }
 

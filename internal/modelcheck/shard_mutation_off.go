@@ -1,0 +1,9 @@
+//go:build !custodymutateshard
+
+package modelcheck
+
+// shardMutationEnabled mirrors internal/core's custodymutateshard build tag
+// (the seeded sharded-build tie-break bug) so the shard mutation smoke test
+// can live in an always-compiled file and skip itself when the bug is not
+// compiled in.
+const shardMutationEnabled = false

@@ -1,0 +1,7 @@
+//go:build custodymutateshard
+
+package modelcheck
+
+// shardMutationEnabled mirrors internal/core's custodymutateshard build tag;
+// see shard_mutation_off.go.
+const shardMutationEnabled = true

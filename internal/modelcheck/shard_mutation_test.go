@@ -1,0 +1,67 @@
+package modelcheck
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+// TestShardMutationSmoke proves the checker guards the sharded-build merge
+// contract: under the custodymutateshard build tag, internal/core reverses
+// the per-shard executor scan order (so same-node ties resolve to the
+// highest executor ID instead of the lowest whenever Shards > 1), and the
+// harness's manager self-check must (a) catch the divergence from the
+// reference oracle within a bounded seed scan, (b) shrink the
+// counterexample to at most 12 commands, and (c) round-trip it through a
+// .repro file that replays to the same digest.
+//
+// Each scanned sequence gets a set-shards prefix so the mutation's
+// Shards > 1 guard is armed from the first round; shrinking is free to
+// drop the prefix, and keeps it exactly because sequential builds do not
+// fail.
+//
+// Run with: go test -tags custodymutateshard -run TestShardMutationSmoke ./internal/modelcheck
+func TestShardMutationSmoke(t *testing.T) {
+	if !shardMutationEnabled {
+		t.Skip("requires -tags custodymutateshard (seeded sharded tie-break bug not compiled in)")
+	}
+	const (
+		maxSeeds    = 80
+		cmdsPerSeed = 40
+		maxShrunk   = 12
+	)
+	for seed := uint64(1); seed <= maxSeeds; seed++ {
+		cmds := append([]Command{{Op: OpSetShards, A: 3}}, Generate(seed, cmdsPerSeed)...)
+		r := Run(seed, cmds)
+		if !r.Failed() {
+			continue
+		}
+		min := ShrinkResult(r)
+		if !min.Failed() {
+			t.Fatalf("seed %d: shrunken sequence no longer fails", seed)
+		}
+		var b bytes.Buffer
+		if err := min.WriteReport(&b); err != nil {
+			t.Fatalf("WriteReport: %v", err)
+		}
+		t.Logf("seed %d caught the shard mutation; minimal reproducer:\n%s", seed, b.String())
+		if len(min.Commands) > maxShrunk {
+			t.Fatalf("seed %d: shrunk to %d commands, want <= %d", seed, len(min.Commands), maxShrunk)
+		}
+		path := filepath.Join(t.TempDir(), "shard-tie.repro")
+		if err := WriteRepro(path, Repro{Seed: min.Seed, Commands: min.Commands}); err != nil {
+			t.Fatalf("WriteRepro: %v", err)
+		}
+		got, err := ReadRepro(path)
+		if err != nil {
+			t.Fatalf("ReadRepro: %v", err)
+		}
+		replay := Run(got.Seed, got.Commands)
+		if !replay.Failed() || replay.Digest != min.Digest {
+			t.Fatalf(".repro does not replay (failed=%v digest %s vs %s)",
+				replay.Failed(), replay.Digest, min.Digest)
+		}
+		return
+	}
+	t.Fatalf("seeded sharded tie-break bug never detected in %d seeds — the self-check is blind", maxSeeds)
+}
