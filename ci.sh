@@ -151,6 +151,24 @@ if ! tail -1 artifacts/obsv.om | grep -q '^# EOF$'; then
     exit 1
 fi
 
+echo "== block-cache sweep"
+# Cache on: the quick A14 sweep must show real cache traffic (nonzero hits
+# on a cached row) and lands as an artifact. Cache off is the default
+# everywhere else in this script, so re-running the golden-trace suite
+# right after proves the zero-default contract: with CacheBytes=0 the six
+# golden replays stay byte-identical.
+go run ./cmd/custodybench -fig cache -quick > artifacts/cache-sweep.txt
+if [ ! -s artifacts/cache-sweep.txt ]; then
+    echo "cache sweep left artifacts/cache-sweep.txt empty or missing"
+    exit 1
+fi
+if ! awk '$1 == 256 && $7 > 0 { found = 1 } END { exit !found }' artifacts/cache-sweep.txt; then
+    echo "cache sweep shows no hits on a cached row"
+    cat artifacts/cache-sweep.txt
+    exit 1
+fi
+go test -count=1 -run '^TestGoldenTraces$' ./internal/experiments
+
 echo "== custodyd service smoke"
 # Boot the allocation service on an ephemeral port, drive a workload over
 # the HTTP API, scrape /metrics, kill -9 the daemon, and require the

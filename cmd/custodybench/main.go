@@ -29,7 +29,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	var (
-		fig      = flag.String("fig", "all", "what to reproduce: 7 | 8 | 9 | 10 | all | approx | intra | scarlett | offer | wait | spec | managers | schedulers | failures | selectors | hetero | hints | chaos")
+		fig      = flag.String("fig", "all", "what to reproduce: 7 | 8 | 9 | 10 | all | approx | intra | scarlett | offer | wait | spec | managers | schedulers | failures | selectors | hetero | hints | chaos | cache")
 		quick    = flag.Bool("quick", false, "shrink the workload (6 jobs/app) for fast runs")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		repeats  = flag.Int("repeats", 1, "pool results over this many seeds (figures 7-10 only)")
@@ -182,6 +182,12 @@ func main() {
 		fmt.Println(res.Render())
 	case "chaos":
 		res, err := experiments.RunChaos(opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(res.Render())
+	case "cache":
+		res, err := experiments.RunCache(opts)
 		if err != nil {
 			fail(err)
 		}

@@ -49,10 +49,12 @@ func main() {
 		jsonl    = flag.Bool("obsv-jsonl", false, "stream decision provenance to <dir>/obsv.jsonl")
 		csv      = flag.Bool("obsv-csv", false, "stream decision provenance to <dir>/obsv.csv")
 		hbMS     = flag.Int("heartbeat-timeout-ms", 10000, "revoke an executor whose tenant stops reporting it for this long (0 disables the reaper)")
+		cacheMB  = flag.Int64("cache-mb", 0, "per-node block-cache capacity in MB (0 disables the cache tier; caches are rebuilt cold on recovery)")
+		cachePol = flag.String("cache-policy", "lru", "block-cache eviction policy: lru | 2q")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *dir, *seed, *nodes, *tenants, *queueCap, *roundMS, *budgetMS, *ckptN, *hbMS, *jsonl, *csv); err != nil {
+	if err := run(*addr, *dir, *seed, *nodes, *tenants, *queueCap, *roundMS, *budgetMS, *ckptN, *hbMS, *cacheMB, *cachePol, *jsonl, *csv); err != nil {
 		log.Printf("custodyd: %v", err)
 		os.Exit(1)
 	}
@@ -61,17 +63,22 @@ func main() {
 // run boots the server, serves the API until SIGTERM/SIGINT, then drains.
 // The wall clock and round ticker are injected here, at the binary edge —
 // everything under internal/ stays clock-free and deterministic.
-func run(addr, dir string, seed uint64, nodes, tenants, queueCap, roundMS, budgetMS, ckptN, hbMS int, jsonl, csv bool) error {
+func run(addr, dir string, seed uint64, nodes, tenants, queueCap, roundMS, budgetMS, ckptN, hbMS int, cacheMB int64, cachePol string, jsonl, csv bool) error {
 	if nodes < 1 || tenants < 1 || queueCap < 1 || roundMS < 1 || budgetMS < 1 || ckptN < 1 {
 		return fmt.Errorf("-nodes, -tenants, -queue-cap, -round-ms, -round-budget-ms, and -checkpoint-every must all be at least 1 (run 'custodyd -h' for usage)")
 	}
 	if hbMS < 0 {
 		return fmt.Errorf("-heartbeat-timeout-ms must not be negative (0 disables the reaper)")
 	}
+	if cacheMB < 0 {
+		return fmt.Errorf("-cache-mb must not be negative (0 disables the cache tier)")
+	}
 	scfg := custodyd.DefaultConfig()
 	scfg.Seed = seed
 	scfg.Nodes = nodes
 	scfg.MaxTenants = tenants
+	scfg.CacheMB = cacheMB
+	scfg.CachePolicy = cachePol
 
 	ticker := time.NewTicker(time.Duration(roundMS) * time.Millisecond)
 	defer ticker.Stop()

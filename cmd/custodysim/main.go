@@ -34,6 +34,8 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "random seed")
 		shards   = flag.Int("shards", 1, "allocation-session build shards (custody manager only; plans are byte-identical at any value)")
 		spec     = flag.Bool("speculation", false, "enable speculative execution")
+		cacheMB  = flag.Int64("cache-mb", 0, "per-node block-cache capacity in MB (0 disables the cache tier)")
+		cachePol = flag.String("cache-policy", "lru", "block-cache eviction policy: lru | 2q")
 		sched    = flag.String("scheduler", "delay", "task scheduler: delay | delay-taskset | fifo | locality-hard | quincy")
 		traceOut = flag.String("trace", "", "write an execution-timeline CSV to this file")
 		explain  = flag.String("explain", "", "print the decision chain behind every grant of one job, as app.job (e.g. 0.5)")
@@ -54,6 +56,7 @@ func main() {
 		manager: *mgr, scheduler: *sched, workload: *wl,
 		nodes: *nodes, execs: *execs, slots: *slots, apps: *apps, jobs: *jobs,
 		shards: *shards, arrival: *arrival, wait: *wait,
+		cacheMB: *cacheMB, cachePolicy: *cachePol,
 		mcMode: *mcMode, mcServer: *mcServer, mcSeeds: *mcSeeds, mcCmds: *mcCmds,
 		mcReplay: *mcReplay, mcOut: *mcOut,
 	}); err != nil {
@@ -81,6 +84,8 @@ func main() {
 		LocalityWaitSec:  *wait,
 		Speculation:      *spec,
 		Trace:            *traceOut != "",
+		CacheMB:          *cacheMB,
+		CachePolicy:      *cachePol,
 	}
 	w := custody.Workload{
 		Kind:             *wl,

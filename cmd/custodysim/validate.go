@@ -21,6 +21,8 @@ type cliFlags struct {
 	nodes, execs, slots          int
 	apps, jobs, shards           int
 	arrival, wait                float64
+	cacheMB                      int64
+	cachePolicy                  string
 	mcMode, mcServer             bool
 	mcSeeds, mcCmds              int
 	mcReplay, mcOut              string
@@ -70,6 +72,15 @@ func validateFlags(set map[string]bool, f cliFlags) error {
 	if f.arrival <= 0 {
 		return fmt.Errorf("-arrival must be positive, got %g", f.arrival)
 	}
+	if f.cacheMB < 0 {
+		return fmt.Errorf("-cache-mb must be non-negative, got %d", f.cacheMB)
+	}
+	if !oneOf(f.cachePolicy, []string{"", "lru", "2q"}) {
+		return fmt.Errorf("unknown -cache-policy %q (valid: lru | 2q)", f.cachePolicy)
+	}
+	if set["cache-policy"] && !set["cache-mb"] {
+		return fmt.Errorf("-cache-policy requires -cache-mb (the cache tier is disabled by default)")
+	}
 	if f.wait < 0 {
 		return fmt.Errorf("-wait must be non-negative, got %g", f.wait)
 	}
@@ -83,7 +94,7 @@ func validateFlags(set map[string]bool, f cliFlags) error {
 			}
 		}
 	} else {
-		for _, name := range []string{"trace", "explain", "obsv-out", "speculation", "workload", "manager", "scheduler", "shards"} {
+		for _, name := range []string{"trace", "explain", "obsv-out", "speculation", "workload", "manager", "scheduler", "shards", "cache-mb", "cache-policy"} {
 			if set[name] {
 				return fmt.Errorf("-%s applies to simulation runs and contradicts -modelcheck", name)
 			}

@@ -104,6 +104,35 @@ func TestValidateFlags(t *testing.T) {
 			mutate: func(f *cliFlags) { f.mcMode = true; f.shards = 4 },
 			want:   "-shards applies to simulation runs",
 		},
+		{
+			name:   "cache-ok",
+			set:    map[string]bool{"cache-mb": true, "cache-policy": true},
+			mutate: func(f *cliFlags) { f.cacheMB = 256; f.cachePolicy = "2q" },
+		},
+		{
+			name:   "negative-cache-mb",
+			set:    map[string]bool{"cache-mb": true},
+			mutate: func(f *cliFlags) { f.cacheMB = -1 },
+			want:   "-cache-mb must be non-negative",
+		},
+		{
+			name:   "unknown-cache-policy",
+			set:    map[string]bool{"cache-mb": true, "cache-policy": true},
+			mutate: func(f *cliFlags) { f.cacheMB = 256; f.cachePolicy = "arc" },
+			want:   `unknown -cache-policy "arc"`,
+		},
+		{
+			name:   "cache-policy-without-cache-mb",
+			set:    map[string]bool{"cache-policy": true},
+			mutate: func(f *cliFlags) { f.cachePolicy = "2q" },
+			want:   "-cache-policy requires -cache-mb",
+		},
+		{
+			name:   "modelcheck-with-cache",
+			set:    map[string]bool{"cache-mb": true},
+			mutate: func(f *cliFlags) { f.mcMode = true; f.cacheMB = 256 },
+			want:   "-cache-mb applies to simulation runs",
+		},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

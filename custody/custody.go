@@ -133,6 +133,15 @@ type Config struct {
 	// Custody manager's allocator reports every Algorithm 1 pick and grant
 	// into it, and the driver feeds it audit results and fault no-ops.
 	Obsv *Observability
+	// CacheMB attaches a per-node in-memory block cache of this many
+	// megabytes: warm reads stream at memory bandwidth, hits/misses/
+	// evictions are collected, and grants on warm nodes are tagged
+	// cache-hit. 0 (default) disables the tier — the read path is then
+	// byte-identical to the cacheless simulation.
+	CacheMB int64
+	// CachePolicy selects the cache's eviction policy: "lru" (default) or
+	// "2q".
+	CachePolicy string
 }
 
 // TotalSlots returns the run's total task-slot capacity — nodes ×
@@ -239,6 +248,9 @@ func (c Config) driverConfig() driver.Config {
 		if m, ok := cfg.Manager.(*manager.Custody); ok {
 			m.Opts.Shards = c.Shards
 		}
+	}
+	if c.CacheMB > 0 {
+		cfg.EnableCache(c.CacheMB<<20, hdfs.CachePolicy(c.CachePolicy))
 	}
 	return cfg
 }

@@ -380,9 +380,12 @@ func (st *allocator) assign(a *appState, e ExecInfo, j *jobState, t *taskState, 
 		if j != nil && local {
 			g.Job = j.d.Job
 			g.Task = t.d.Task
-			if t.d.Fallback {
+			switch {
+			case t.d.Fallback:
 				g.Reason = obsv.ReasonRackFallback
-			} else {
+			case t.d.warmOn(e.Node):
+				g.Reason = obsv.ReasonCacheHit
+			default:
 				g.Reason = obsv.ReasonLocalBlock
 			}
 		}

@@ -26,6 +26,28 @@ type TaskDemand struct {
 	// allocator treats fallback nodes exactly like replica holders — but it
 	// distinguishes local-block from rack-fallback grants in obsv.
 	Fallback bool
+	// Warm, when non-nil, parallels Nodes: Warm[i] marks Nodes[i] as
+	// holding the block in its block cache when the demand was built. Like
+	// Fallback it is purely provenance — the allocator's choice is
+	// unchanged — but a grant landing on a warm node is tagged cache-hit
+	// instead of local-block in obsv. Nil whenever the cache tier is
+	// disabled (the default), which keeps the demand build allocation-free.
+	Warm []bool
+}
+
+// warmOn reports whether the demand marked node as cache-warm.
+//
+//custody:noalloc
+func (t *TaskDemand) warmOn(node int) bool {
+	if t.Warm == nil {
+		return false
+	}
+	for i, n := range t.Nodes {
+		if n == node {
+			return i < len(t.Warm) && t.Warm[i]
+		}
+	}
+	return false
 }
 
 // JobDemand is one job's set of input-task demands. Jobs with fewer

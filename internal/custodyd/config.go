@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/driver"
+	"repro/internal/hdfs"
 	"repro/internal/manager"
 	"repro/internal/netsim"
 	"repro/internal/trace"
@@ -48,6 +49,13 @@ type Config struct {
 	// AuditEveryOp runs Driver.Audit after every applied op, turning any
 	// invariant breach into an op error instead of a latent corruption.
 	AuditEveryOp bool
+
+	// CacheMB enables the per-node block-cache tier (0 keeps it off, the
+	// default). The cache is part of the deterministic core, not durable
+	// state: a crash loses it and replay rebuilds it cold, then re-warms it
+	// through the same op stream — so recovery digests are unaffected.
+	CacheMB     int64
+	CachePolicy string // "" | "lru" | "2q"
 
 	// Tracer receives driver timeline events (nil → discarded). The model
 	// checker uses it to feed its shadow model during live runs and replay.
@@ -134,6 +142,12 @@ func (c Config) validate() error {
 	if c.RoundSimStep <= 0 || c.DegradedStepFactor < 1 {
 		return fmt.Errorf("custodyd: RoundSimStep = %v, DegradedStepFactor = %v", c.RoundSimStep, c.DegradedStepFactor)
 	}
+	if c.CacheMB < 0 {
+		return fmt.Errorf("custodyd: CacheMB = %d", c.CacheMB)
+	}
+	if !hdfs.ValidCachePolicy(hdfs.CachePolicy(c.CachePolicy)) {
+		return fmt.Errorf("custodyd: CachePolicy = %q", c.CachePolicy)
+	}
 	return nil
 }
 
@@ -154,6 +168,10 @@ func (c Config) driverConfig(mgr manager.Manager) driver.Config {
 	dcfg.ExecutorStartupSec = 0
 	dcfg.ComputeNoise = 0
 	dcfg.EnableResilience()
+	if c.CacheMB > 0 {
+		dcfg.EnableCache(c.CacheMB<<20, hdfs.CachePolicy(c.CachePolicy))
+		dcfg.ReplicaSelection = &hdfs.CacheAwareSelector{}
+	}
 	dcfg.Manager = mgr
 	dcfg.Tracer = c.Tracer
 	return dcfg

@@ -119,6 +119,29 @@ func (d *Driver) Audit() error {
 		}
 	}
 
+	// Block-cache coherence (when the tier is enabled): bytes cached never
+	// exceed capacity, every cached block is held by the node (admission
+	// happens only on serving nodes, invalidation wherever replicas move or
+	// die), and a failed node's cache is empty per the coherence rule —
+	// node death drops the in-memory tier; flakes (Suspend) retain it.
+	if d.nn.CacheEnabled() {
+		for node := 0; node < d.nn.Nodes(); node++ {
+			c := d.nn.Cache(node)
+			if c.Used() > c.Capacity() {
+				fail("node %d caches %d bytes over capacity %d", node, c.Used(), c.Capacity())
+			}
+			if d.failedNodes[node] && c.Len() > 0 {
+				fail("failed node %d retains %d cached blocks", node, c.Len())
+			}
+			dn := d.nn.DataNode(node)
+			for _, id := range c.Blocks() {
+				if !dn.Holds(id) {
+					fail("node %d caches block %d it does not hold", node, id)
+				}
+			}
+		}
+	}
+
 	// Backoff bookkeeping (sorted for deterministic violation order).
 	var boTasks []*app.Task
 	for t := range d.backoff {

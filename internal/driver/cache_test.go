@@ -1,0 +1,126 @@
+package driver
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/hdfs"
+	"repro/internal/metrics"
+)
+
+// runCachedJobs runs three identical jobs over one file with the cache tier
+// on: the first warms the caches, the later two hit.
+func runCachedJobs(t *testing.T, policy hdfs.CachePolicy) *Driver {
+	t.Helper()
+	cfg := smallConfig(custodyMgr())
+	cfg.EnableCache(256<<20, policy)
+	cfg.ReplicaSelection = &hdfs.CacheAwareSelector{}
+	d := New(cfg)
+	f, err := d.CreateInput("in", 256<<20) // 4 blocks
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := d.RegisterApp("test")
+	d.Start()
+	for i, at := range []float64{1, 15, 30} {
+		b := app.NewJob(i+1, "Sort", "in")
+		in := b.AddInputStage("map", f.Blocks, app.TaskSpec{ComputeSec: 1, OutputBytes: 32 << 20})
+		b.AddShuffleStage("reduce", []*app.Stage{in}, 2, 64<<20, app.TaskSpec{ComputeSec: 0.5})
+		d.SubmitJobAt(at, a, b.Build())
+	}
+	d.Run()
+	return d
+}
+
+func TestCachedRunHitsWarmReplicas(t *testing.T) {
+	for _, pol := range []hdfs.CachePolicy{hdfs.CacheLRU, hdfs.Cache2Q} {
+		d := runCachedJobs(t, pol)
+		col := d.Collector()
+		if len(col.Jobs) != 3 {
+			t.Fatalf("[%s] finished jobs = %d, want 3", pol, len(col.Jobs))
+		}
+		// First pass misses, the repeat reads hit warm caches.
+		if col.CacheMisses == 0 || col.CacheHits == 0 {
+			t.Fatalf("[%s] hits=%d misses=%d, want both nonzero", pol, col.CacheHits, col.CacheMisses)
+		}
+		// Per-node accounting must sum to the aggregate.
+		hits, misses, evs := 0, 0, 0
+		for _, nc := range col.CacheByNode {
+			hits += nc.Hits
+			misses += nc.Misses
+			evs += nc.Evictions
+		}
+		if hits != col.CacheHits || misses != col.CacheMisses || evs != col.CacheEvictions {
+			t.Fatalf("[%s] per-node sums %d/%d/%d != aggregate %d/%d/%d",
+				pol, hits, misses, evs, col.CacheHits, col.CacheMisses, col.CacheEvictions)
+		}
+		if r := col.CacheHitRatio(); r <= 0 || r >= 1 {
+			t.Fatalf("[%s] hit ratio = %v", pol, r)
+		}
+		if err := d.Audit(); err != nil {
+			t.Fatalf("[%s] audit after cached run: %v", pol, err)
+		}
+	}
+}
+
+func TestCachedRunDeterministic(t *testing.T) {
+	a := runCachedJobs(t, hdfs.Cache2Q).Collector()
+	b := runCachedJobs(t, hdfs.Cache2Q).Collector()
+	if a.CacheHits != b.CacheHits || a.CacheMisses != b.CacheMisses || a.CacheEvictions != b.CacheEvictions {
+		t.Fatalf("same-seed cached runs differ: %d/%d/%d vs %d/%d/%d",
+			a.CacheHits, a.CacheMisses, a.CacheEvictions,
+			b.CacheHits, b.CacheMisses, b.CacheEvictions)
+	}
+	aj := metrics.Summarize(a.JobCompletionTimes())
+	bj := metrics.Summarize(b.JobCompletionTimes())
+	if aj.Mean != bj.Mean {
+		t.Fatalf("same-seed cached JCTs differ: %v vs %v", aj.Mean, bj.Mean)
+	}
+}
+
+func TestCacheOffByDefault(t *testing.T) {
+	d := runOneJob(t, custodyMgr())
+	col := d.Collector()
+	if col.CacheHits != 0 || col.CacheMisses != 0 || col.CacheEvictions != 0 || len(col.CacheByNode) != 0 {
+		t.Fatalf("cache-off run recorded cache activity: %+v", col.CacheByNode)
+	}
+	if d.NameNode().CacheEnabled() {
+		t.Fatal("default config built block caches")
+	}
+	if r := col.CacheHitRatio(); r != 0 {
+		t.Fatalf("cache-off hit ratio = %v, want 0", r)
+	}
+}
+
+// The audit's cache section must catch a cached block the node does not
+// hold — the invariant the admit-on-serving-node rule exists to preserve.
+func TestAuditCatchesCacheHeldViolation(t *testing.T) {
+	d := runCachedJobs(t, hdfs.CacheLRU)
+	if err := d.Audit(); err != nil {
+		t.Fatalf("clean run audit: %v", err)
+	}
+	d.NameNode().Cache(0).Admit(hdfs.BlockID(9999), 1<<20)
+	err := d.Audit()
+	if err == nil || !strings.Contains(err.Error(), "caches block") {
+		t.Fatalf("audit missed a cached-but-not-held block: %v", err)
+	}
+}
+
+func TestCacheConfigValidate(t *testing.T) {
+	cfg := smallConfig(custodyMgr())
+	cfg.CacheBytes = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative CacheBytes accepted")
+	}
+	cfg = smallConfig(custodyMgr())
+	cfg.EnableCache(64<<20, "arc")
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("unknown cache policy accepted")
+	}
+	cfg = smallConfig(custodyMgr())
+	cfg.EnableCache(64<<20, "")
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("empty policy (LRU default) rejected: %v", err)
+	}
+}

@@ -118,6 +118,19 @@ type Config struct {
 	// (InjectPartition). Zero picks a 1 Mbps trickle.
 	PartitionBps float64
 
+	// Block-cache tier knobs (zero-default, like the resilience knobs: all
+	// zero reproduces the cacheless read path byte-for-byte).
+
+	// CacheBytes attaches an in-memory block cache of this byte capacity to
+	// every DataNode. Warm reads stream at the memory tier's bandwidth
+	// (Net.MemoryBps) instead of disk; hits, misses, and evictions land in
+	// the collector and grants on warm nodes are tagged cache-hit in obsv.
+	// Zero disables the tier entirely.
+	CacheBytes int64
+	// CachePolicy selects the eviction policy: hdfs.CacheLRU (default when
+	// empty) or hdfs.Cache2Q.
+	CachePolicy hdfs.CachePolicy
+
 	// Tracer receives timeline events (nil → discarded).
 	Tracer trace.Tracer
 
@@ -173,6 +186,13 @@ func (c *Config) EnableResilience() {
 	c.ConnectTimeoutSec = 1
 }
 
+// EnableCache turns on the block-cache tier with the given per-node byte
+// capacity and eviction policy (empty policy → LRU).
+func (c *Config) EnableCache(bytes int64, policy hdfs.CachePolicy) {
+	c.CacheBytes = bytes
+	c.CachePolicy = policy
+}
+
 // Validate reports configuration errors.
 func (c Config) Validate() error {
 	if c.Nodes <= 0 {
@@ -197,6 +217,12 @@ func (c Config) Validate() error {
 	case SchedDelay, SchedDelayTaskSet, SchedFIFO, SchedLocalityHard, SchedQuincy:
 	default:
 		return fmt.Errorf("driver: unknown scheduler %q", c.Scheduler)
+	}
+	if c.CacheBytes < 0 {
+		return fmt.Errorf("driver: CacheBytes = %d", c.CacheBytes)
+	}
+	if !hdfs.ValidCachePolicy(c.CachePolicy) {
+		return fmt.Errorf("driver: unknown cache policy %q", c.CachePolicy)
 	}
 	return nil
 }

@@ -90,6 +90,9 @@ func New(cfg Config) *Driver {
 	if cfg.Placement != nil {
 		opts = append(opts, hdfs.WithPolicy(cfg.Placement))
 	}
+	if cfg.CacheBytes > 0 {
+		opts = append(opts, hdfs.WithBlockCache(cfg.CacheBytes, cfg.CachePolicy))
+	}
 	tr := cfg.Tracer
 	if tr == nil {
 		tr = trace.Nop{}

@@ -5,7 +5,9 @@ import (
 
 	"repro/internal/app"
 	"repro/internal/cluster"
+	"repro/internal/hdfs"
 	"repro/internal/metrics"
+	"repro/internal/netsim"
 	"repro/internal/trace"
 )
 
@@ -74,15 +76,28 @@ func (d *Driver) launch(t *app.Task, e *cluster.Executor, spec bool) {
 		done := func() { d.readFinished(at) }
 		if local || len(locs) == 0 {
 			// No reachable replica left → regenerate locally (lineage).
-			at.flows = append(at.flows, d.fabric.LocalRead(node, bytes, done))
+			tier := netsim.TierDisk
+			if local && d.cacheTouch(node, t.Block, t.InputBytes) {
+				// Warm in the reader's own cache: stream from memory. A
+				// lineage regeneration (!local) never consults the cache —
+				// the node holds no replica to have cached.
+				tier = netsim.TierMemory
+			}
+			at.flows = append(at.flows, d.fabric.LocalReadTier(node, bytes, tier, done))
 			return
 		}
-		src := d.pickReplica(locs, node)
+		src := d.pickReplica(t.Block, locs, node)
 		if !d.sourceReadable(src) {
 			d.failConnect(at, src)
 			return
 		}
-		at.flows = append(at.flows, d.fabric.RemoteReadCap(src, node, bytes, d.cfg.RemoteReadCapBps, done))
+		tier := netsim.TierDisk
+		if d.cacheTouch(src, t.Block, t.InputBytes) {
+			// Warm at the source: its disk stays idle; the network path is
+			// charged as usual.
+			tier = netsim.TierMemory
+		}
+		at.flows = append(at.flows, d.fabric.RemoteReadCapTier(src, node, bytes, d.cfg.RemoteReadCapBps, tier, done))
 		return
 	}
 	d.startShuffleFetch(at)
@@ -388,13 +403,41 @@ func (d *Driver) maybeSpeculate(s *app.Stage) {
 }
 
 // pickReplica selects the source of a non-local read via the configured
-// replica selector (random by default).
-func (d *Driver) pickReplica(locs []int, dst int) int {
+// replica selector (random by default). Block-aware selectors (cache
+// warmth) get the block ID; plain selectors keep the narrow signature.
+func (d *Driver) pickReplica(id hdfs.BlockID, locs []int, dst int) int {
 	sel := d.cfg.ReplicaSelection
 	if sel == nil {
 		return locs[d.rng.Intn(len(locs))]
 	}
+	if bs, ok := sel.(hdfs.BlockAwareSelector); ok {
+		return bs.PickBlock(d.nn, id, locs, dst, d.rng)
+	}
 	return sel.Pick(d.nn, locs, dst, d.rng)
+}
+
+// cacheTouch consults the serving node's block cache before a read: a hit
+// renews recency and streams from the memory tier; a miss admits the block,
+// since this node is about to serve its bytes (keeping "cached implies
+// held" an auditable invariant). Hit/miss/eviction counts land in the
+// collector, totals and per node. Always false when the tier is disabled.
+func (d *Driver) cacheTouch(node int, id hdfs.BlockID, size int64) bool {
+	c := d.nn.Cache(node)
+	if c == nil {
+		return false
+	}
+	nc := d.col.NodeCache(node)
+	if c.Touch(id) {
+		d.col.CacheHits++
+		nc.Hits++
+		return true
+	}
+	d.col.CacheMisses++
+	nc.Misses++
+	ev := c.Admit(id, size)
+	d.col.CacheEvictions += ev
+	nc.Evictions += ev
+	return false
 }
 
 // localTo reports whether the task's block has a replica on the node.

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/race"
+)
+
+func TestRunCacheQuick(t *testing.T) {
+	if race.Enabled {
+		t.Skip("the cache sweep runs 15 full sims; the hdfs/driver/chaos cache tests cover these paths under -race")
+	}
+	res, err := RunCache(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 managers × (no cache + 256MB lru + 256MB 2q + 1024MB lru + 4096MB lru).
+	if len(res.Rows) != 15 {
+		t.Fatalf("rows = %d, want 15", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.CacheMB == 0 {
+			if r.Hits != 0 || r.Misses != 0 || r.Evictions != 0 || r.Policy != "-" {
+				t.Errorf("cache-off row has cache activity: %+v", r)
+			}
+			continue
+		}
+		// The acceptance bar: a cached sweep row must show real traffic.
+		if r.Hits == 0 || r.Misses == 0 {
+			t.Errorf("%dMB/%s/%s: hits=%d misses=%d, want both nonzero", r.CacheMB, r.Policy, r.Manager, r.Hits, r.Misses)
+		}
+		if r.CacheMB == 256 && r.Evictions == 0 {
+			t.Errorf("256MB/%s/%s: no evictions under pressure", r.Policy, r.Manager)
+		}
+		if r.HitRatio <= 0 || r.HitRatio >= 1 {
+			t.Errorf("%dMB/%s/%s: hit ratio %v out of range", r.CacheMB, r.Policy, r.Manager, r.HitRatio)
+		}
+	}
+	out := res.Render()
+	if !strings.Contains(out, "block cache") || !strings.Contains(out, "2q") {
+		t.Fatalf("render malformed:\n%s", out)
+	}
+}
+
+// Seed stability: the sweep's cache counters are part of the deterministic
+// surface — three identical invocations must agree exactly.
+func TestRunCacheSeedStable(t *testing.T) {
+	if race.Enabled {
+		t.Skip("three full sweeps; determinism is seed-driven, not scheduling-driven")
+	}
+	first, err := RunCache(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 2; trial++ {
+		again, err := RunCache(quickOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(again.Rows) != len(first.Rows) {
+			t.Fatalf("trial %d: %d rows vs %d", trial, len(again.Rows), len(first.Rows))
+		}
+		for i := range again.Rows {
+			if again.Rows[i] != first.Rows[i] {
+				t.Fatalf("trial %d row %d differs:\n%+v\n%+v", trial, i, again.Rows[i], first.Rows[i])
+			}
+		}
+	}
+}

@@ -161,6 +161,22 @@ func merge(dst, src *metrics.Collector) {
 	dst.ReplicationStalls += src.ReplicationStalls
 	dst.ReplicasRestored += src.ReplicasRestored
 	dst.RecoverySec = append(dst.RecoverySec, src.RecoverySec...)
+	dst.CacheHits += src.CacheHits
+	dst.CacheMisses += src.CacheMisses
+	dst.CacheEvictions += src.CacheEvictions
+	if src.CacheByNode != nil {
+		nodes := make([]int, 0, len(src.CacheByNode))
+		for n := range src.CacheByNode {
+			nodes = append(nodes, n)
+		}
+		sort.Ints(nodes)
+		for _, n := range nodes {
+			s, d := src.CacheByNode[n], dst.NodeCache(n)
+			d.Hits += s.Hits
+			d.Misses += s.Misses
+			d.Evictions += s.Evictions
+		}
+	}
 }
 
 func rackSize(nodes int) int {

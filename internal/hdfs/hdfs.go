@@ -51,7 +51,21 @@ type DataNode struct {
 	Used      int64
 	blocks    map[BlockID]struct{}
 	alive     bool
-	suspended bool // flaky: process up, refusing reads; heartbeats missed
+	suspended bool        // flaky: process up, refusing reads; heartbeats missed
+	cache     *BlockCache // in-memory block cache; nil when the tier is disabled
+}
+
+// Cache returns the node's block cache, or nil when the cache tier is
+// disabled (the zero-default configuration).
+func (d *DataNode) Cache() *BlockCache { return d.cache }
+
+// dropCached invalidates one cached block, if the cache tier is enabled —
+// called wherever the node loses a replica, so "cached implies held" stays
+// an invariant.
+func (d *DataNode) dropCached(id BlockID) {
+	if d.cache != nil {
+		d.cache.Invalidate(id)
+	}
 }
 
 // Holds reports whether the DataNode stores the block.
@@ -116,6 +130,18 @@ func WithRacks(rackSize int) Option {
 	}
 }
 
+// WithBlockCache attaches an in-memory block cache of the given byte
+// capacity to every DataNode. An empty policy defaults to CacheLRU. With no
+// cache attached (the default) every cache query answers cold and the read
+// path is byte-identical to the cacheless simulation.
+func WithBlockCache(bytes int64, policy CachePolicy) Option {
+	return func(nn *NameNode) {
+		for _, d := range nn.datanodes {
+			d.cache = NewBlockCache(bytes, policy)
+		}
+	}
+}
+
 // WithCapacity sets a per-node storage capacity in bytes.
 func WithCapacity(bytes int64) Option {
 	return func(nn *NameNode) {
@@ -162,6 +188,20 @@ func (nn *NameNode) Rack(node int) int { return nn.racks[node] }
 
 // DataNode returns the DataNode state for a node.
 func (nn *NameNode) DataNode(node int) *DataNode { return nn.datanodes[node] }
+
+// CacheEnabled reports whether the block-cache tier is attached.
+func (nn *NameNode) CacheEnabled() bool { return nn.datanodes[0].cache != nil }
+
+// Cache returns a node's block cache, or nil when the tier is disabled.
+func (nn *NameNode) Cache(node int) *BlockCache { return nn.datanodes[node].cache }
+
+// CacheContains reports whether a node's cache holds the block warm, without
+// touching recency or hit/miss accounting. Always false when the tier is
+// disabled — warm-replica preferences degrade to their fallbacks.
+func (nn *NameNode) CacheContains(node int, id BlockID) bool {
+	c := nn.datanodes[node].cache
+	return c != nil && c.Contains(id)
+}
 
 // ErrExists is returned by Create when the file name is taken.
 var ErrExists = errors.New("hdfs: file exists")
@@ -337,6 +377,7 @@ func (nn *NameNode) Delete(name string) error {
 				delete(d.blocks, b.ID)
 				d.Used -= b.Size
 			}
+			d.dropCached(b.ID)
 		}
 		delete(nn.locations, b.ID)
 		delete(nn.blocks, b.ID)
@@ -367,6 +408,12 @@ func (nn *NameNode) Decommission(node int) ([]ReplicaCopy, error) {
 		return nil, fmt.Errorf("hdfs: node %d already decommissioned", node)
 	}
 	d.alive = false
+	// Coherence rule: a dead node's in-memory cache is gone. Recommission
+	// brings the node back cold; a Suspend/Resume flake (process up) keeps
+	// its cache warm.
+	if d.cache != nil {
+		d.cache.Clear()
+	}
 	var copies []ReplicaCopy
 	ids := make([]BlockID, 0, len(d.blocks))
 	for id := range d.blocks {

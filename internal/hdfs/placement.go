@@ -1,6 +1,9 @@
 package hdfs
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+)
 
 // PlacementPolicy chooses the DataNodes that receive a new block's replicas.
 type PlacementPolicy interface {
@@ -99,7 +102,7 @@ func (RackAwarePolicy) Place(nn *NameNode, b *Block, replicas int) ([]int, error
 func (nn *NameNode) pickNodeOnRack(size int64, exclude map[int]bool, rackOK func(int) bool) (int, bool) {
 	var candidates []int
 	for _, d := range nn.datanodes {
-		if !d.alive || exclude[d.Node] || !rackOK(nn.Rack(d.Node)) {
+		if !d.alive || d.suspended || exclude[d.Node] || !rackOK(nn.Rack(d.Node)) {
 			continue
 		}
 		if d.Capacity > 0 && d.Used+size > d.Capacity {
@@ -136,7 +139,10 @@ func (p *PopularityPolicy) Place(nn *NameNode, b *Block, replicas int) ([]int, e
 			w = v
 		}
 	}
-	extra := int(w) - 1
+	// Round half-up so fractional weights earn their extra replicas: the
+	// contract is "proportionally to popularity weight", and truncation
+	// would give weight 1.9 the same zero extras as weight 1.0.
+	extra := int(w+0.5) - 1
 	if p.MaxExtra > 0 && extra > p.MaxExtra {
 		extra = p.MaxExtra
 	}
@@ -177,14 +183,24 @@ func (nn *NameNode) PlanRebalance(slack int) []RebalanceAdvice {
 		lo = 0
 	}
 
-	// Deterministic order: scan overloaded nodes ascending.
+	// Deterministic order: scan nodes ascending, both when picking the
+	// overloaded sources and when breaking target-count ties below, so the
+	// advice never depends on map iteration order.
+	live := make([]int, 0, len(counts))
+	for node := range counts {
+		live = append(live, node)
+	}
+	sort.Ints(live)
 	var over []int
-	for node, c := range counts {
-		if c > hi {
+	for _, node := range live {
+		if counts[node] > hi {
 			over = append(over, node)
 		}
 	}
-	sort.Ints(over)
+	// planned tracks bytes this plan already routes to each target, so a
+	// sequence of moves cannot collectively overflow a capacity-bounded node
+	// that each single move would fit on.
+	planned := map[int]int64{}
 	for _, from := range over {
 		d := nn.datanodes[from]
 		var ids []BlockID
@@ -196,13 +212,19 @@ func (nn *NameNode) PlanRebalance(slack int) []RebalanceAdvice {
 			if counts[from] <= hi {
 				break
 			}
-			// Find an underloaded target that lacks this block.
-			var to = -1
-			for node, c := range counts {
-				if c < lo+1 && !nn.datanodes[node].Holds(id) && node != from {
-					if to == -1 || c < counts[to] {
-						to = node
-					}
+			// Find the least-loaded underloaded target with room that lacks
+			// this block; count ties break toward the lowest node ID.
+			size := nn.blocks[id].Size
+			to := -1
+			for _, node := range live {
+				if node == from || counts[node] >= lo+1 || nn.datanodes[node].Holds(id) {
+					continue
+				}
+				if td := nn.datanodes[node]; td.Capacity > 0 && td.Used+planned[node]+size > td.Capacity {
+					continue
+				}
+				if to == -1 || counts[node] < counts[to] {
+					to = node
 				}
 			}
 			if to == -1 {
@@ -211,6 +233,7 @@ func (nn *NameNode) PlanRebalance(slack int) []RebalanceAdvice {
 			advice = append(advice, RebalanceAdvice{Block: id, From: from, To: to})
 			counts[from]--
 			counts[to]++
+			planned[to] += size
 		}
 	}
 	return advice
@@ -230,9 +253,15 @@ func (nn *NameNode) ApplyMove(m RebalanceAdvice) error {
 	if nn.datanodes[m.To].Holds(m.Block) {
 		return ErrExists
 	}
+	// Enforce the same capacity bound pickNode applies at placement time:
+	// rebalancing must not overflow a capacity-bounded target.
+	if to := nn.datanodes[m.To]; to.Capacity > 0 && to.Used+b.Size > to.Capacity {
+		return fmt.Errorf("%w: node %d cannot take block %d", ErrNoSpace, m.To, m.Block)
+	}
 	nn.addReplica(b, m.To)
 	delete(from.blocks, m.Block)
 	from.Used -= b.Size
+	from.dropCached(m.Block)
 	locs := nn.locations[m.Block]
 	for i, n := range locs {
 		if n == m.From {

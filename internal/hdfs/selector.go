@@ -12,6 +12,17 @@ type ReplicaSelector interface {
 	Pick(nn *NameNode, locs []int, dst int, rng *xrand.Rand) int
 }
 
+// BlockAwareSelector is an optional ReplicaSelector extension for selectors
+// whose choice depends on which block is being read (e.g. cache warmth).
+// The driver's read path type-asserts for it and passes the block ID;
+// plain selectors keep the narrower Pick signature.
+type BlockAwareSelector interface {
+	ReplicaSelector
+	// PickBlock returns the source node for a reader on dst fetching the
+	// given block, from the live replica locations (non-empty).
+	PickBlock(nn *NameNode, id BlockID, locs []int, dst int, rng *xrand.Rand) int
+}
+
 // RandomSelector picks a replica uniformly at random, spreading read load
 // across the replica set.
 type RandomSelector struct{}
@@ -46,9 +57,11 @@ func (ClosestSelector) Pick(nn *NameNode, locs []int, dst int, rng *xrand.Rand) 
 	return locs[rng.Intn(len(locs))]
 }
 
-// LeastLoadedSelector picks the replica holder with the fewest recorded
-// block accesses — a simple read-balancing heuristic using the NameNode's
-// popularity statistics as a load proxy.
+// LeastLoadedSelector picks the replica holder that has served the fewest
+// reads through this selector — a simple read-balancing heuristic over its
+// own per-run serving counters. It does not consult the NameNode's
+// popularity statistics, which count accesses per file, not reads served
+// per node.
 type LeastLoadedSelector struct {
 	// loadOf tracks reads served per node during this run.
 	served map[int]int
@@ -72,4 +85,51 @@ func (s *LeastLoadedSelector) Pick(nn *NameNode, locs []int, dst int, rng *xrand
 	}
 	s.served[best]++
 	return best
+}
+
+// CacheAwareSelector prefers replica holders whose block cache holds the
+// block warm, so remote reads stream from memory instead of disk. Among
+// warm holders it prefers the reader's rack, then the lowest node ID; with
+// no warm holder (or the cache tier disabled) it defers to Fallback.
+type CacheAwareSelector struct {
+	// Fallback picks when no replica is warm. Nil defaults to
+	// ClosestSelector, matching HDFS's rack-distance read path.
+	Fallback ReplicaSelector
+}
+
+// Name implements ReplicaSelector.
+func (s *CacheAwareSelector) Name() string { return "cache-aware" }
+
+// Pick implements ReplicaSelector: without a block ID there is no warmth to
+// consult, so it defers straight to the fallback.
+func (s *CacheAwareSelector) Pick(nn *NameNode, locs []int, dst int, rng *xrand.Rand) int {
+	return s.fallback().Pick(nn, locs, dst, rng)
+}
+
+// PickBlock implements BlockAwareSelector.
+func (s *CacheAwareSelector) PickBlock(nn *NameNode, id BlockID, locs []int, dst int, rng *xrand.Rand) int {
+	best, bestRack := -1, false
+	rack := nn.Rack(dst)
+	for _, n := range locs {
+		if !nn.CacheContains(n, id) {
+			continue
+		}
+		sameRack := nn.Rack(n) == rack
+		// Rack proximity first, then lowest node ID: deterministic given
+		// the cache state, which is itself deterministic.
+		if best == -1 || (sameRack && !bestRack) || (sameRack == bestRack && n < best) {
+			best, bestRack = n, sameRack
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	return s.fallback().Pick(nn, locs, dst, rng)
+}
+
+func (s *CacheAwareSelector) fallback() ReplicaSelector {
+	if s.Fallback != nil {
+		return s.Fallback
+	}
+	return ClosestSelector{}
 }

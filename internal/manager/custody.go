@@ -227,6 +227,7 @@ func (c *Custody) reallocate(env Env) {
 					Block:    t.Block,
 					Nodes:    nodes,
 					Fallback: fb,
+					Warm:     warmNodes(env, t, nodes, fb),
 				})
 			}
 			d.Jobs = append(d.Jobs, jd)
@@ -291,6 +292,28 @@ func (c *Custody) reallocate(env Env) {
 // true only in the rack-local case, where the returned nodes are stand-ins
 // rather than replica holders (a grant there is a rack-fallback grant in
 // the provenance log, not a local-block one).
+// warmNodes marks which preferred nodes hold the task's block warm in their
+// block cache — provenance only (grants on warm nodes are tagged cache-hit
+// in obsv). Nil whenever the cache tier is disabled (the default), no node
+// is warm, or the nodes are rack-local stand-ins rather than holders, so
+// the cacheless demand build stays allocation-free.
+func warmNodes(env Env, t *app.Task, nodes []int, fallback bool) []bool {
+	nn := env.NameNode()
+	if fallback || !nn.CacheEnabled() {
+		return nil
+	}
+	var warm []bool
+	for i, n := range nodes {
+		if nn.CacheContains(n, t.Block) {
+			if warm == nil {
+				warm = make([]bool, len(nodes))
+			}
+			warm[i] = true
+		}
+	}
+	return warm
+}
+
 func demandNodes(env Env, t *app.Task) (nodes []int, fallback bool) {
 	nn := env.NameNode()
 	cl := env.Cluster()

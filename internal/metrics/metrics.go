@@ -78,6 +78,42 @@ type Collector struct {
 	// RecoverySec records, per fault-interrupted task, the wall-clock
 	// seconds from the fault until the task was re-launched.
 	RecoverySec []float64
+
+	// CacheHits/CacheMisses/CacheEvictions aggregate the block-cache tier
+	// across nodes; CacheByNode carries the per-node breakdown. All zero
+	// (and CacheByNode nil) when the cache is disabled — the default.
+	CacheHits      int
+	CacheMisses    int
+	CacheEvictions int
+	CacheByNode    map[int]*CacheCounts
+}
+
+// CacheCounts is one node's block-cache accounting.
+type CacheCounts struct {
+	Hits, Misses, Evictions int
+}
+
+// NodeCache returns the cache accounting for a node, allocating it on first
+// use.
+func (c *Collector) NodeCache(node int) *CacheCounts {
+	if c.CacheByNode == nil {
+		c.CacheByNode = make(map[int]*CacheCounts)
+	}
+	nc := c.CacheByNode[node]
+	if nc == nil {
+		nc = &CacheCounts{}
+		c.CacheByNode[node] = nc
+	}
+	return nc
+}
+
+// CacheHitRatio returns hits / (hits + misses), or 0 with no lookups.
+func (c *Collector) CacheHitRatio() float64 {
+	total := c.CacheHits + c.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.CacheHits) / float64(total)
 }
 
 // MeanRecoverySec returns the mean fault-recovery time, or 0 with no faults.

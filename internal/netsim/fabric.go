@@ -35,6 +35,9 @@ const (
 	Disk
 	// FlowCap is a per-flow private rate limit.
 	FlowCap
+	// Memory is a node's in-memory block-cache read bandwidth — the serving
+	// tier of a warm cache hit, far above disk.
+	Memory
 )
 
 func (k ResourceKind) String() string {
@@ -47,6 +50,8 @@ func (k ResourceKind) String() string {
 		return "disk"
 	case FlowCap:
 		return "flowcap"
+	case Memory:
+		return "mem"
 	}
 	return "unknown"
 }
@@ -98,6 +103,7 @@ type Fabric struct {
 	up      []*Resource
 	down    []*Resource
 	disk    []*Resource
+	mem     []*Resource
 	flows   map[*Flow]struct{}
 	nextID  int64
 	latency float64
@@ -127,11 +133,20 @@ type Config struct {
 	UplinkBps   float64
 	DownlinkBps float64
 	DiskBps     float64
+	// MemoryBps is the in-memory block-cache read bandwidth used by
+	// memory-tier reads (TierMemory). Zero defaults to DefaultMemoryBps.
+	// Memory resources are inert until a tiered read references them, so
+	// the default leaves every disk-tier simulation byte-identical.
+	MemoryBps float64
 	// LatencySec is a fixed per-transfer setup delay (connection
 	// establishment, RPC round-trip) charged before a flow starts moving
 	// bytes. Zero disables it.
 	LatencySec float64
 }
+
+// DefaultMemoryBps is the default memory-tier bandwidth: 10 GB/s, an order
+// of magnitude above the testbed's SSD and well above any single link.
+const DefaultMemoryBps = 10e9
 
 // LinodeConfig mirrors the paper's testbed (§VI-A1): 2 Gbps uplink,
 // 40 Gbps downlink, SSD local storage (~400 MB/s effective).
@@ -157,12 +172,35 @@ func NewFabric(eng *event.Engine, n int, cfg Config) *Fabric {
 		latency: cfg.LatencySec,
 		baseCap: make(map[*Resource]float64),
 	}
+	memBps := cfg.MemoryBps
+	if memBps <= 0 {
+		memBps = DefaultMemoryBps
+	}
 	for i := 0; i < n; i++ {
 		f.up = append(f.up, &Resource{Kind: Uplink, Node: i, Capacity: cfg.UplinkBps, flows: map[*Flow]struct{}{}})
 		f.down = append(f.down, &Resource{Kind: Downlink, Node: i, Capacity: cfg.DownlinkBps, flows: map[*Flow]struct{}{}})
 		f.disk = append(f.disk, &Resource{Kind: Disk, Node: i, Capacity: cfg.DiskBps, flows: map[*Flow]struct{}{}})
+		f.mem = append(f.mem, &Resource{Kind: Memory, Node: i, Capacity: memBps, flows: map[*Flow]struct{}{}})
 	}
 	return f
+}
+
+// Tier selects the storage tier a read is served from.
+type Tier int
+
+const (
+	// TierDisk serves from the node's local storage.
+	TierDisk Tier = iota
+	// TierMemory serves from the node's in-memory block cache.
+	TierMemory
+)
+
+// serving returns node n's serving resource for a tier.
+func (fb *Fabric) serving(n int, tier Tier) *Resource {
+	if tier == TierMemory {
+		return fb.mem[n]
+	}
+	return fb.disk[n]
 }
 
 // Nodes returns the number of nodes in the fabric.
@@ -173,7 +211,14 @@ func (fb *Fabric) ActiveFlows() int { return len(fb.flows) }
 
 // LocalRead starts a disk-only read of the given size on node n.
 func (fb *Fabric) LocalRead(n int, bytes float64, done func()) *Flow {
-	return fb.start(n, n, bytes, done, fb.disk[n])
+	return fb.LocalReadTier(n, bytes, TierDisk, done)
+}
+
+// LocalReadTier starts a node-local read served from the given tier: the
+// flow consumes the node's disk (TierDisk) or its cache-memory bandwidth
+// (TierMemory, a warm block-cache hit).
+func (fb *Fabric) LocalReadTier(n int, bytes float64, tier Tier, done func()) *Flow {
+	return fb.start(n, n, bytes, done, fb.serving(n, tier))
 }
 
 // RemoteRead starts a read of a block stored on src delivered to dst:
@@ -190,10 +235,19 @@ func (fb *Fabric) RemoteRead(src, dst int, bytes float64, done func()) *Flow {
 // access", §III-C). The cap is realized as a private resource of the flow,
 // so max-min fairness still applies below it.
 func (fb *Fabric) RemoteReadCap(src, dst int, bytes, capBps float64, done func()) *Flow {
+	return fb.RemoteReadCapTier(src, dst, bytes, capBps, TierDisk, done)
+}
+
+// RemoteReadCapTier is RemoteReadCap with the source's serving tier made
+// explicit: a warm cache hit on src streams from its memory bandwidth
+// instead of its disk, leaving the disk free for other readers — the
+// network path (src uplink, dst downlink, optional per-flow cap) is
+// unchanged.
+func (fb *Fabric) RemoteReadCapTier(src, dst int, bytes, capBps float64, tier Tier, done func()) *Flow {
 	if src == dst {
-		return fb.LocalRead(src, bytes, done)
+		return fb.LocalReadTier(src, bytes, tier, done)
 	}
-	res := []*Resource{fb.disk[src], fb.up[src], fb.down[dst]}
+	res := []*Resource{fb.serving(src, tier), fb.up[src], fb.down[dst]}
 	if capBps > 0 {
 		res = append(res, &Resource{Kind: FlowCap, Node: dst, Capacity: capBps, flows: map[*Flow]struct{}{}})
 	}
@@ -226,6 +280,9 @@ func (fb *Fabric) DownlinkResource(n int) *Resource { return fb.down[n] }
 
 // DiskResource exposes node n's disk.
 func (fb *Fabric) DiskResource(n int) *Resource { return fb.disk[n] }
+
+// MemoryResource exposes node n's cache-memory bandwidth.
+func (fb *Fabric) MemoryResource(n int) *Resource { return fb.mem[n] }
 
 func (fb *Fabric) start(src, dst int, bytes float64, done func(), resources ...*Resource) *Flow {
 	if bytes < 0 || math.IsNaN(bytes) {

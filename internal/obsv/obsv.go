@@ -61,6 +61,11 @@ const (
 	// ReasonArbitraryFill: a leftover slot handed out in the fill phase
 	// with no locality claim at all.
 	ReasonArbitraryFill
+	// ReasonCacheHit: the executor's node stores a replica of the task's
+	// input block *and* held it warm in its block cache when the demand
+	// was built — the read is expected to stream from memory, not disk.
+	// Only emitted when the cache tier is enabled.
+	ReasonCacheHit
 )
 
 // String returns the reason's wire name.
@@ -72,6 +77,8 @@ func (r Reason) String() string {
 		return "rack-fallback"
 	case ReasonArbitraryFill:
 		return "arbitrary-fill"
+	case ReasonCacheHit:
+		return "cache-hit"
 	}
 	return "unknown"
 }

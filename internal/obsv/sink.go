@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -288,6 +289,26 @@ func RenderOpenMetrics(w io.Writer, col *metrics.Collector, fr *FlightRecorder, 
 		counter("custody_blacklist_events", "nodes excluded after repeated failures", col.BlacklistEvents)
 		counter("custody_replication_stalls", "re-replication plans that could not be made", col.ReplicationStalls)
 		counter("custody_replicas_restored", "re-replication transfers completed", col.ReplicasRestored)
+		counter("custody_cache_hits", "block-cache hits across all nodes", col.CacheHits)
+		counter("custody_cache_misses", "block-cache misses across all nodes", col.CacheMisses)
+		counter("custody_cache_evictions", "block-cache evictions across all nodes", col.CacheEvictions)
+		// One family, aggregate series plus one labeled series per node
+		// with cache traffic. All zero when the cache tier is disabled.
+		fmt.Fprintf(&b, "# TYPE custody_cache_hit_ratio gauge\n# HELP custody_cache_hit_ratio block-cache hits / lookups, aggregate and per node\n")
+		fmt.Fprintf(&b, "custody_cache_hit_ratio %s\n", strconv.FormatFloat(col.CacheHitRatio(), 'g', -1, 64))
+		nodes := make([]int, 0, len(col.CacheByNode))
+		for n := range col.CacheByNode {
+			nodes = append(nodes, n)
+		}
+		sort.Ints(nodes)
+		for _, n := range nodes {
+			nc := col.CacheByNode[n]
+			ratio := 0.0
+			if total := nc.Hits + nc.Misses; total > 0 {
+				ratio = float64(nc.Hits) / float64(total)
+			}
+			fmt.Fprintf(&b, "custody_cache_hit_ratio{node=\"%d\"} %s\n", n, strconv.FormatFloat(ratio, 'g', -1, 64))
+		}
 
 		jct := col.JobCompletionTimes()
 		fmt.Fprintf(&b, "# TYPE custody_jct_seconds histogram\n# HELP custody_jct_seconds job completion time\n")
