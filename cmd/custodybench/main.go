@@ -192,6 +192,12 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(res.Render())
+	case "tournament":
+		res, err := experiments.RunTournament(opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(res.Render())
 	default:
 		fail(fmt.Errorf("unknown -fig %q", *fig))
 	}

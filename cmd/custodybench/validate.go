@@ -15,7 +15,7 @@ var ablationFigs = map[string]bool{
 	"approx": true, "intra": true, "scarlett": true, "offer": true,
 	"wait": true, "spec": true, "managers": true, "schedulers": true,
 	"failures": true, "selectors": true, "hetero": true, "hints": true,
-	"chaos": true, "cache": true,
+	"chaos": true, "cache": true, "tournament": true,
 }
 
 func validFigNames() string {

@@ -51,10 +51,11 @@ func main() {
 		hbMS     = flag.Int("heartbeat-timeout-ms", 10000, "revoke an executor whose tenant stops reporting it for this long (0 disables the reaper)")
 		cacheMB  = flag.Int64("cache-mb", 0, "per-node block-cache capacity in MB (0 disables the cache tier; caches are rebuilt cold on recovery)")
 		cachePol = flag.String("cache-policy", "lru", "block-cache eviction policy: lru | 2q")
+		pol      = flag.String("policy", "custody", "allocation policy: custody | quincy | wfair | locmatch (must match across restarts for replay)")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *dir, *seed, *nodes, *tenants, *queueCap, *roundMS, *budgetMS, *ckptN, *hbMS, *cacheMB, *cachePol, *jsonl, *csv); err != nil {
+	if err := run(*addr, *dir, *seed, *nodes, *tenants, *queueCap, *roundMS, *budgetMS, *ckptN, *hbMS, *cacheMB, *cachePol, *pol, *jsonl, *csv); err != nil {
 		log.Printf("custodyd: %v", err)
 		os.Exit(1)
 	}
@@ -63,7 +64,7 @@ func main() {
 // run boots the server, serves the API until SIGTERM/SIGINT, then drains.
 // The wall clock and round ticker are injected here, at the binary edge —
 // everything under internal/ stays clock-free and deterministic.
-func run(addr, dir string, seed uint64, nodes, tenants, queueCap, roundMS, budgetMS, ckptN, hbMS int, cacheMB int64, cachePol string, jsonl, csv bool) error {
+func run(addr, dir string, seed uint64, nodes, tenants, queueCap, roundMS, budgetMS, ckptN, hbMS int, cacheMB int64, cachePol, pol string, jsonl, csv bool) error {
 	if nodes < 1 || tenants < 1 || queueCap < 1 || roundMS < 1 || budgetMS < 1 || ckptN < 1 {
 		return fmt.Errorf("-nodes, -tenants, -queue-cap, -round-ms, -round-budget-ms, and -checkpoint-every must all be at least 1 (run 'custodyd -h' for usage)")
 	}
@@ -79,6 +80,7 @@ func run(addr, dir string, seed uint64, nodes, tenants, queueCap, roundMS, budge
 	scfg.MaxTenants = tenants
 	scfg.CacheMB = cacheMB
 	scfg.CachePolicy = cachePol
+	scfg.Policy = pol
 
 	ticker := time.NewTicker(time.Duration(roundMS) * time.Millisecond)
 	defer ticker.Stop()

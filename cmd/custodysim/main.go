@@ -33,6 +33,7 @@ func main() {
 		wait     = flag.Float64("wait", 3.0, "delay-scheduling locality wait (s)")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		shards   = flag.Int("shards", 1, "allocation-session build shards (custody manager only; plans are byte-identical at any value)")
+		policy   = flag.String("policy", "custody", "allocation policy (custody manager only): custody | quincy | wfair | locmatch")
 		spec     = flag.Bool("speculation", false, "enable speculative execution")
 		cacheMB  = flag.Int64("cache-mb", 0, "per-node block-cache capacity in MB (0 disables the cache tier)")
 		cachePol = flag.String("cache-policy", "lru", "block-cache eviction policy: lru | 2q")
@@ -53,7 +54,7 @@ func main() {
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	if err := validateFlags(set, cliFlags{
-		manager: *mgr, scheduler: *sched, workload: *wl,
+		manager: *mgr, scheduler: *sched, workload: *wl, policy: *policy,
 		nodes: *nodes, execs: *execs, slots: *slots, apps: *apps, jobs: *jobs,
 		shards: *shards, arrival: *arrival, wait: *wait,
 		cacheMB: *cacheMB, cachePolicy: *cachePol,
@@ -80,6 +81,7 @@ func main() {
 		Seed:             *seed,
 		Manager:          custody.ManagerName(*mgr),
 		Shards:           *shards,
+		Policy:           *policy,
 		Scheduler:        *sched,
 		LocalityWaitSec:  *wait,
 		Speculation:      *spec,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/policy"
 	"repro/internal/workload"
 )
 
@@ -13,11 +14,13 @@ import (
 var (
 	validManagers   = []string{"custody", "spark", "yarn", "offer"}
 	validSchedulers = []string{"delay", "delay-taskset", "fifo", "locality-hard", "quincy"}
+	validPolicies   = policy.Names()
 )
 
 // cliFlags carries the parsed flag values through validation.
 type cliFlags struct {
 	manager, scheduler, workload string
+	policy                       string
 	nodes, execs, slots          int
 	apps, jobs, shards           int
 	arrival, wait                float64
@@ -69,6 +72,12 @@ func validateFlags(set map[string]bool, f cliFlags) error {
 	if set["shards"] && f.shards > 1 && f.manager != "custody" {
 		return fmt.Errorf("-shards applies to the custody manager, not -manager %s", f.manager)
 	}
+	if f.policy != "" && !oneOf(f.policy, validPolicies) {
+		return fmt.Errorf("unknown -policy %q (valid: %s)", f.policy, strings.Join(validPolicies, " | "))
+	}
+	if set["policy"] && f.policy != policy.Custody && f.manager != "custody" {
+		return fmt.Errorf("-policy applies to the custody manager, not -manager %s", f.manager)
+	}
 	if f.arrival <= 0 {
 		return fmt.Errorf("-arrival must be positive, got %g", f.arrival)
 	}
@@ -94,7 +103,7 @@ func validateFlags(set map[string]bool, f cliFlags) error {
 			}
 		}
 	} else {
-		for _, name := range []string{"trace", "explain", "obsv-out", "speculation", "workload", "manager", "scheduler", "shards", "cache-mb", "cache-policy"} {
+		for _, name := range []string{"trace", "explain", "obsv-out", "speculation", "workload", "manager", "scheduler", "shards", "policy", "cache-mb", "cache-policy"} {
 			if set[name] {
 				return fmt.Errorf("-%s applies to simulation runs and contradicts -modelcheck", name)
 			}

@@ -142,6 +142,13 @@ type Config struct {
 	// CachePolicy selects the cache's eviction policy: "lru" (default) or
 	// "2q".
 	CachePolicy string
+	// Policy selects the Custody manager's allocation policy (DESIGN.md
+	// §16): "custody" (default, Algorithms 1+2), "quincy" (global min-cost
+	// flow), "wfair" (per-server weighted fair), or "locmatch"
+	// (Hopcroft-Karp + Hungarian locality matching). "" or "custody" keeps
+	// the built-in path byte-identical to previous releases. Custody
+	// manager only.
+	Policy string
 }
 
 // TotalSlots returns the run's total task-slot capacity — nodes ×
@@ -247,6 +254,11 @@ func (c Config) driverConfig() driver.Config {
 	if c.Shards > 1 {
 		if m, ok := cfg.Manager.(*manager.Custody); ok {
 			m.Opts.Shards = c.Shards
+		}
+	}
+	if c.Policy != "" {
+		if m, ok := cfg.Manager.(*manager.Custody); ok {
+			_ = m.SetPolicy(c.Policy) //custody:ignore errdrop unknown names were rejected by CLI validation; the facade runs the default rather than half-configure, matching its unknown-manager behavior
 		}
 	}
 	if c.CacheMB > 0 {

@@ -7,7 +7,7 @@ import (
 
 // Layering enforces the import DAG that keeps the algorithmic kernel
 // reusable and testable in isolation. The leaf layers — core, matching,
-// maxflow, netsim, obsv, xrand — hold pure algorithms over plain data and
+// maxflow, netsim, obsv, policy, xrand — hold pure algorithms over plain data and
 // must never reach up into the orchestration layers (driver, experiments,
 // sim, manager, custodyd) or into the binaries (cmd/*). Upward imports
 // would drag simulation state, experiment configuration, or I/O into the
@@ -20,7 +20,7 @@ type Layering struct{}
 
 // leafLayers are internal packages that must remain dependency leaves
 // (they may import each other and utility leaves such as hdfs or metrics).
-var leafLayers = []string{"core", "matching", "maxflow", "netsim", "obsv", "xrand"}
+var leafLayers = []string{"core", "matching", "maxflow", "netsim", "obsv", "policy", "xrand"}
 
 // forbiddenLayers are the orchestration packages leaves must not import.
 var forbiddenLayers = []string{"driver", "experiments", "sim", "manager", "custodyd"}
@@ -30,7 +30,7 @@ func (Layering) Name() string { return "layering" }
 
 // Doc implements Analyzer.
 func (Layering) Doc() string {
-	return "leaf layers (internal/core, matching, maxflow, netsim, obsv, xrand) must not import " +
+	return "leaf layers (internal/core, matching, maxflow, netsim, obsv, policy, xrand) must not import " +
 		"orchestration layers (internal/driver, experiments, sim, manager, custodyd) or cmd/*"
 }
 

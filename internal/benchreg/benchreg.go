@@ -27,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/hdfs"
+	"repro/internal/policy"
 	"repro/internal/workload"
 	"repro/internal/xrand"
 )
@@ -93,6 +94,12 @@ const (
 // ShardCase names one shard-sweep case: alloc-50k/shards-4 and friends.
 func ShardCase(nodes, shards int) string {
 	return fmt.Sprintf("alloc-%dk/shards-%d", nodes/1000, shards)
+}
+
+// PolicyCase names one policy-contender case: alloc-1k/policy-quincy and
+// friends.
+func PolicyCase(name string) string {
+	return fmt.Sprintf("alloc-1k/policy-%s", name)
 }
 
 // The shard sweep grid: cluster sizes × shard counts, run warm like the
@@ -227,6 +234,27 @@ func RunProfiled(quick bool, seed uint64, profileDir string) (*Report, error) {
 	}, func() { sess5k.Allocate(demands5k, idle5k, coreOpts) })
 
 	rep.Cases = []Case{sweepCase, incr1k, ref1k, incr5k}
+
+	// Policy contenders on the same 1k-node instance. The custody policy is
+	// alloc-1000/incremental by construction (the manager short-circuits it
+	// to the warm session), so only the contenders get cases. They are
+	// absent from the committed baseline, which makes them informational:
+	// the gate ranks them without failing CI on their drift (DESIGN.md §16).
+	for _, name := range policy.Names() {
+		if name == policy.Custody {
+			continue
+		}
+		p, err := policy.New(name)
+		if err != nil {
+			return nil, fmt.Errorf("benchreg: %w", err)
+		}
+		rep.Cases = append(rep.Cases, measure(PolicyCase(name), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p.Allocate(demands1k, idle1k, coreOpts)
+			}
+		}, func() { p.Allocate(demands1k, idle1k, coreOpts) }))
+	}
 
 	// Shard sweep: 100k-node-scale rounds at increasing shard counts. The
 	// demand profile is the same fixed MicroInstance workload, so these

@@ -2,11 +2,13 @@ package custodyd
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/driver"
 	"repro/internal/hdfs"
 	"repro/internal/manager"
 	"repro/internal/netsim"
+	"repro/internal/policy"
 	"repro/internal/trace"
 )
 
@@ -49,6 +51,13 @@ type Config struct {
 	// AuditEveryOp runs Driver.Audit after every applied op, turning any
 	// invariant breach into an op error instead of a latent corruption.
 	AuditEveryOp bool
+
+	// Policy selects the manager's allocation policy ("" or "custody" keeps
+	// the built-in Algorithm 1+2 session; "quincy" | "wfair" | "locmatch"
+	// swap in a contender, DESIGN.md §16). The choice is part of the
+	// deterministic configuration, like the file set: it must be identical
+	// across restarts for replay to reproduce state.
+	Policy string
 
 	// CacheMB enables the per-node block-cache tier (0 keeps it off, the
 	// default). The cache is part of the deterministic core, not durable
@@ -147,6 +156,11 @@ func (c Config) validate() error {
 	}
 	if !hdfs.ValidCachePolicy(hdfs.CachePolicy(c.CachePolicy)) {
 		return fmt.Errorf("custodyd: CachePolicy = %q", c.CachePolicy)
+	}
+	if c.Policy != "" {
+		if _, err := policy.New(c.Policy); err != nil {
+			return fmt.Errorf("custodyd: Policy = %q (valid: %s)", c.Policy, strings.Join(policy.Names(), " | "))
+		}
 	}
 	return nil
 }

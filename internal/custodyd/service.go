@@ -61,6 +61,11 @@ func NewService(cfg Config, jnl Journal) (*Service, error) {
 	}
 	s := &Service{cfg: cfg, jnl: jnl}
 	s.mgr = manager.NewCustody()
+	if cfg.Policy != "" {
+		if err := s.mgr.SetPolicy(cfg.Policy); err != nil {
+			return nil, fmt.Errorf("custodyd: %w", err)
+		}
+	}
 	s.hub = obsv.NewHub(0)
 	dcfg := cfg.driverConfig(s.mgr)
 	dcfg.Obsv = s.hub

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/driver"
+	"repro/internal/manager"
+	"repro/internal/policy"
+	"repro/internal/trace"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// goldenRunPolicy is goldenRun with the custody manager's allocation policy
+// forced through the same SetPolicy path the CLIs use.
+func goldenRunPolicy(kind workload.Kind, pol string) (*trace.Recorder, error) {
+	spec := workload.DefaultSpec(kind)
+	spec.Apps = 2
+	spec.JobsPerApp = 3
+	sched := workload.Generate(spec, xrand.New(7))
+	cfg := driver.DefaultConfig()
+	cfg.Seed = 7
+	cfg.Nodes = 16
+	cfg.RackSize = 4
+	m := manager.NewCustody()
+	if err := m.SetPolicy(pol); err != nil {
+		return nil, err
+	}
+	cfg.Manager = m
+	rec := trace.NewRecorder()
+	cfg.Tracer = rec
+	if _, err := driver.RunSchedule(cfg, sched); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// TestGoldenTracesPolicy pins every allocation policy's end-to-end timeline
+// byte-for-byte, one seed of each workload kind. The custody entry does not
+// get a fixture of its own: selecting it through SetPolicy must replay the
+// existing <kind>-custody.trace goldens exactly, which is the whole
+// byte-identity contract of the default policy (DESIGN.md §16). The
+// contenders each get their own fixture. Regenerate after an intentional
+// behavior change with:
+//
+//	go test ./internal/experiments -run TestGoldenTracesPolicy -update
+func TestGoldenTracesPolicy(t *testing.T) {
+	for _, kind := range workload.Kinds() {
+		for _, pol := range policy.Names() {
+			kind, pol := kind, pol
+			base := fmt.Sprintf("%s-custody", strings.ToLower(string(kind)))
+			name := fmt.Sprintf("%s-policy-%s", base, pol)
+			t.Run(name, func(t *testing.T) {
+				rec, err := goldenRunPolicy(kind, pol)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if err := rec.WriteCSV(&buf); err != nil {
+					t.Fatal(err)
+				}
+				fixture := name
+				if pol == policy.Custody {
+					fixture = base // must replay the default golden exactly
+				}
+				path := filepath.Join("testdata", "golden", fixture+".trace")
+				if *updateGolden && pol != policy.Custody {
+					blessGolden(t, path, buf.Bytes())
+					return
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing golden trace: %v (regenerate with -update)", err)
+				}
+				if !bytes.Equal(buf.Bytes(), want) {
+					d := firstDiffLine(buf.Bytes(), want)
+					t.Fatalf("policy %s trace diverges from golden %s at line %d:\n got: %s\nwant: %s",
+						pol, path, d, lineAt(buf.Bytes(), d), lineAt(want, d))
+				}
+			})
+		}
+	}
+}

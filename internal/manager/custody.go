@@ -7,6 +7,7 @@ import (
 	"repro/internal/app"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/policy"
 )
 
 // Custody is the paper's data-aware manager (§IV–§V). Allocation is deferred
@@ -33,6 +34,22 @@ type Custody struct {
 	SelfCheck bool
 	// SelfCheckErr holds the first divergence SelfCheck found, or nil.
 	SelfCheckErr error
+	// Policy, when non-nil, replaces Algorithms 1+2 with a pluggable
+	// allocation policy (DESIGN.md §16): the manager snapshots demand and
+	// idle executors exactly as for the default path and hands the snapshot
+	// to the policy instead of the warm session. Nil — or the custody
+	// policy, which wiring maps to nil — keeps the paper's allocator, and
+	// with it the SelfCheck reference-oracle differential, which is a
+	// Custody-specific invariant and is skipped for other policies.
+	Policy policy.Policy
+	// PlanCheck validates every plan against the policy-generic contract
+	// (policy.Validate: executor membership, single ownership, slot and
+	// budget bounds, locality integrity, non-starvation), recording the
+	// first breach in PlanCheckErr. Testing hook, on in the model checker
+	// for every policy including the default.
+	PlanCheck bool
+	// PlanCheckErr holds the first generic-contract breach, or nil.
+	PlanCheckErr error
 
 	// sess is the warm incremental allocation state (locality indices, pool
 	// indexes, arenas) reused across driver round-trips; demandBuf and
@@ -55,6 +72,32 @@ func NewCustody() *Custody {
 
 // Name implements Manager.
 func (c *Custody) Name() string { return "custody" }
+
+// SetPolicy selects the allocation policy by registry name. The custody
+// name (and "") maps to the built-in warm-session path (Policy == nil),
+// keeping the default byte-identical to the pre-policy manager and the
+// SelfCheck reference differential armed.
+func (c *Custody) SetPolicy(name string) error {
+	if name == "" || name == policy.Custody {
+		c.Policy = nil
+		return nil
+	}
+	p, err := policy.New(name)
+	if err != nil {
+		return err
+	}
+	c.Policy = p
+	return nil
+}
+
+// PolicyName returns the active policy's registry name; the built-in path
+// reports as "custody".
+func (c *Custody) PolicyName() string {
+	if c.Policy != nil {
+		return c.Policy.Name()
+	}
+	return policy.Custody
+}
 
 // Register implements Manager. Custody deliberately allocates nothing at
 // registration: "we do not allocate executors until users submit requests"
@@ -252,10 +295,18 @@ func (c *Custody) reallocate(env Env) {
 		c.Opts.ShardFn = cluster.RackShardFn(cl, c.Opts.Shards)
 		c.autoShardFor = c.Opts.Shards
 	}
-	plan := c.sess.Allocate(demands, idle, c.Opts)
+	var plan core.Plan
+	if c.Policy != nil {
+		plan = c.Policy.Allocate(demands, idle, c.Opts)
+	} else {
+		plan = c.sess.Allocate(demands, idle, c.Opts)
+	}
 	c.demandBuf = demands
 	c.idleBuf = idle
-	if c.SelfCheck && c.SelfCheckErr == nil {
+	if c.PlanCheck && c.PlanCheckErr == nil {
+		c.PlanCheckErr = policy.Validate(demands, idle, plan, c.Opts)
+	}
+	if c.Policy == nil && c.SelfCheck && c.SelfCheckErr == nil {
 		refOpts := c.Opts
 		refOpts.Observer = nil
 		want := core.AllocateReference(demands, idle, refOpts)

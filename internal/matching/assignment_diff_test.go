@@ -1,0 +1,118 @@
+package matching
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// The assignment differential battery stresses MaxWeightAssignment on the
+// full ≤7×7 envelope the locmatch policy uses — mixed-sign weights, random
+// forbidden pairs, rectangular shapes — against the exhaustive bruteAssign
+// oracle, and verifies every structural property of the returned
+// assignment, not just its total.
+
+// checkAssignment verifies assign is injective, respects forbidden pairs,
+// never picks a negative weight, and sums to total.
+func checkAssignment(t *testing.T, w [][]float64, assign []int, total float64) {
+	t.Helper()
+	if len(assign) != len(w) {
+		t.Fatalf("assign has %d rows, want %d", len(assign), len(w))
+	}
+	usedR := map[int]bool{}
+	sum := 0.0
+	for i, j := range assign {
+		if j == -1 {
+			continue
+		}
+		if j < 0 || j >= len(w[i]) {
+			t.Fatalf("row %d assigned to out-of-range column %d", i, j)
+		}
+		if usedR[j] {
+			t.Fatalf("column %d assigned twice", j)
+		}
+		usedR[j] = true
+		if math.IsInf(w[i][j], -1) {
+			t.Fatalf("row %d assigned to forbidden column %d", i, j)
+		}
+		if w[i][j] < 0 {
+			t.Fatalf("row %d assigned to negative-weight column %d (w=%v); skipping pays 0", i, j, w[i][j])
+		}
+		sum += w[i][j]
+	}
+	if math.Abs(sum-total) > 1e-9 {
+		t.Fatalf("returned total %v but chosen weights sum to %v", total, sum)
+	}
+}
+
+// genWeights draws one ≤7×7 mixed-sign instance. Integer weights keep the
+// float comparison exact.
+func genWeights(rng *xrand.Rand) [][]float64 {
+	nl := rng.IntRange(1, 7)
+	nr := rng.IntRange(1, 7)
+	w := make([][]float64, nl)
+	for i := range w {
+		w[i] = make([]float64, nr)
+		for j := range w[i] {
+			switch {
+			case rng.Bool(0.2):
+				w[i][j] = math.Inf(-1)
+			default:
+				w[i][j] = float64(rng.IntRange(-10, 20))
+			}
+		}
+	}
+	return w
+}
+
+// TestMaxWeightAssignmentDifferential: optimal total and valid structure on
+// every random instance.
+func TestMaxWeightAssignmentDifferential(t *testing.T) {
+	for seed := uint64(1); seed <= 300; seed++ {
+		rng := xrand.New(seed).Fork("assign-diff")
+		w := genWeights(rng)
+		assign, total := MaxWeightAssignment(w)
+		checkAssignment(t, w, assign, total)
+		if want := bruteAssign(w); math.Abs(total-want) > 1e-9 {
+			t.Fatalf("seed %d: total = %v, oracle says %v (w=%v)", seed, total, want, w)
+		}
+	}
+}
+
+// FuzzMaxWeightAssignment drives the same differential from fuzzer-chosen
+// bytes: each byte encodes one cell (high bits select forbidden), the first
+// byte the shape.
+func FuzzMaxWeightAssignment(f *testing.F) {
+	f.Add([]byte{0x23, 10, 200, 3, 0x80, 7})
+	f.Add([]byte{0x77, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 1 {
+			return
+		}
+		nl := 1 + int(data[0]>>4)%7
+		nr := 1 + int(data[0])%7
+		w := make([][]float64, nl)
+		k := 1
+		for i := range w {
+			w[i] = make([]float64, nr)
+			for j := range w[i] {
+				var b byte
+				if k < len(data) {
+					b = data[k]
+					k++
+				}
+				if b >= 0xF0 {
+					w[i][j] = math.Inf(-1)
+				} else {
+					w[i][j] = float64(int(b)%31 - 10)
+				}
+			}
+		}
+		assign, total := MaxWeightAssignment(w)
+		checkAssignment(t, w, assign, total)
+		if want := bruteAssign(w); math.Abs(total-want) > 1e-9 {
+			t.Fatalf("total = %v, oracle says %v (w=%v)", total, want, w)
+		}
+	})
+}

@@ -2,27 +2,43 @@
 // property-testing harness that drives randomized, xrand-seeded command
 // sequences against the real core.Session + manager.Custody + driver stack
 // while maintaining a small independent model (slot ledger, per-app demand,
-// replica map), checking invariants after every command:
+// replica map), checking invariants after every command. The battery splits
+// into a policy-generic core, checked for every allocation policy the
+// set-policy op can select (DESIGN.md §16):
 //
 //   - slot conservation and ownership agreement between the model's
 //     trace-fed executor ledger and the live cluster;
 //   - no double-grant: an executor is never allocated while the model still
-//     believes another application owns it;
+//     believes another application owns it, and within one round its slots
+//     go to a single application;
+//   - the plan contract (policy.Validate): granted executors come from the
+//     idle snapshot, budgets and slot counts are respected, Local
+//     assignments land on advertised replica nodes, and no application
+//     starves while demand, budget, and idle executors coexist;
+//   - the driver's cross-layer Audit (task conservation, replica bounds,
+//     fabric hygiene) holds after every command;
+//   - replica-map hygiene: while no stale-metadata window is open, the
+//     NameNode never advertises a node the model knows is dead or flaky;
+//
+// and Custody-specific checks attached only while the custody policy is
+// active:
+//
 //   - fairness-key monotonicity: within one allocation round, the keys of
 //     Algorithm 1's locality picks are lexicographically non-decreasing
 //     (the minimum of a set whose elements only grow is non-decreasing),
 //     and the fill phase's frozen sort order likewise;
 //   - Algorithm 2 ordering: within one pick, all grants of a job are issued
 //     before the next job is served (job IDs never revisit);
-//   - the driver's cross-layer Audit (task conservation, replica bounds,
-//     fabric hygiene) holds after every command;
-//   - replica-map hygiene: while no stale-metadata window is open, the
-//     NameNode never advertises a node the model knows is dead or flaky.
+//   - the SelfCheck differential: every round's plan is byte-identical to
+//     the frozen core.AllocateReference oracle.
 //
 // On violation the harness shrinks the command sequence with delta
 // debugging to a minimal deterministic reproducer, serializable as a .repro
-// file and replayable via `custodysim -mc-replay`. A build-tag-gated
-// mutation in internal/core (custodymutate) proves the checker has teeth.
+// file and replayable via `custodysim -mc-replay`. Build-tag-gated
+// mutations prove the checker has teeth: custodymutate and
+// custodymutateshard seed bugs in internal/core's fairness and sharded
+// build, custodymutatepolicy seeds a cost-sign bug in the Quincy policy
+// that only the policy-generic invariants can catch.
 //
 // The QuickCheck stateful-testing lineage and Jepsen-style history checking
 // are the reference points; see DESIGN.md §12.
@@ -72,6 +88,14 @@ const (
 	// to the reference oracle for every count (DESIGN.md §14), which the
 	// harness's always-on manager self-check enforces.
 	OpSetShards Op = "set-shards"
+	// OpSetPolicy switches the manager's allocation policy to
+	// policy.Names()[A mod len] for all subsequent rounds. Selecting custody
+	// re-arms the Custody-specific invariants (SelfCheck differential,
+	// fairness-key monotonicity, Algorithm 2 job ordering); any other policy
+	// detaches them and leaves the policy-generic core (slot conservation,
+	// double-grant, replica hygiene, audit, plan contract) in force
+	// (DESIGN.md §16).
+	OpSetPolicy Op = "set-policy"
 )
 
 // Command is one step of a checker sequence. A and B select targets, F is
@@ -91,6 +115,8 @@ func (c Command) String() string {
 		return fmt.Sprintf("%s %.2fs", c.Op, c.F)
 	case OpSetShards:
 		return fmt.Sprintf("%s %d", c.Op, shardTarget(c.A))
+	case OpSetPolicy:
+		return fmt.Sprintf("%s %s", c.Op, policyTarget(c.A))
 	case OpSubmitApp, OpGrantRound, OpCompleteTask, OpSrvCrash, OpSrvDrain, OpSrvRegister:
 		return string(c.Op)
 	case OpSrvRound:
@@ -122,7 +148,7 @@ func Generate(seed uint64, n int) []Command {
 // enough faults and clock advances to explore the chaos surface.
 func genCommand(rng *xrand.Rand) Command {
 	c := Command{A: rng.Intn(64), B: rng.Intn(64)}
-	switch w := rng.Intn(21); {
+	switch w := rng.Intn(22); {
 	case w < 2:
 		c.Op = OpSubmitApp
 	case w < 6:
@@ -140,6 +166,8 @@ func genCommand(rng *xrand.Rand) Command {
 		c.F = rng.Range(0.1, 4.0)
 	case w < 18:
 		c.Op = OpSetShards
+	case w < 19:
+		c.Op = OpSetPolicy
 	default:
 		c.Op = OpCompleteTask
 	}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/manager"
 	"repro/internal/netsim"
 	"repro/internal/obsv"
+	"repro/internal/policy"
 	"repro/internal/trace"
 )
 
@@ -133,6 +134,9 @@ func newHarness(seed uint64) *harness {
 	// resolved to, so a sharded-build tie-break bug is only visible as a
 	// plan divergence.
 	h.mgr.SelfCheck = true
+	// Policy-generic plan contract (policy.Validate) for whichever policy
+	// the set-policy op selects, the default included.
+	h.mgr.PlanCheck = true
 
 	for _, in := range []struct {
 		name   string
@@ -192,6 +196,8 @@ func (h *harness) apply(c Command) {
 		}
 	case OpSetShards:
 		h.mgr.Opts.Shards = shardTarget(c.A)
+	case OpSetPolicy:
+		h.setPolicy(c.A)
 	}
 }
 
@@ -201,6 +207,30 @@ func shardTarget(a int) int {
 		a = -a
 	}
 	return 1 + a%8
+}
+
+// policyTarget maps a command operand to a registry policy name.
+func policyTarget(a int) string {
+	names := policy.Names()
+	if a < 0 {
+		a = -a
+	}
+	return names[a%len(names)]
+}
+
+// setPolicy switches the manager's allocation policy and re-attaches or
+// detaches the Custody-specific invariants: the SelfCheck reference
+// differential and the observer's fairness/ordering rules apply only while
+// the custody policy is active; the policy-generic core (model ledger,
+// double-grant, replica hygiene, audit, plan contract) always runs.
+func (h *harness) setPolicy(a int) {
+	name := policyTarget(a)
+	if err := h.mgr.SetPolicy(name); err != nil {
+		panic(err) // registry names are closed; cannot fail
+	}
+	custody := name == policy.Custody
+	h.mgr.SelfCheck = custody
+	h.obs.custody = custody
 }
 
 // buildJob constructs one of four small job shapes; all input blocks come
@@ -323,6 +353,9 @@ func (h *harness) check() {
 	if err := h.mgr.SelfCheckErr; err != nil {
 		h.violations = append(h.violations, Violation{Cmd: h.curCmd, Rule: "selfcheck", Detail: err.Error(), App: -1, Job: -1})
 	}
+	if err := h.mgr.PlanCheckErr; err != nil {
+		h.violations = append(h.violations, Violation{Cmd: h.curCmd, Rule: "plancheck", Detail: err.Error(), App: -1, Job: -1})
+	}
 }
 
 // step applies one command and checks invariants, converting panics
@@ -379,6 +412,7 @@ func (h *harness) digest() string {
 		line("%s", l)
 	}
 	line("rounds=%d decisions=%d grants=%d", h.obs.rounds, h.obs.decisions, h.obs.grants)
+	line("policy=%s", h.mgr.PolicyName())
 	line("t=%.6f", h.drv.Engine().Now())
 	for _, v := range h.violations {
 		line("%s", v.String())

@@ -19,7 +19,9 @@ func keyLess(a, b obsv.Key) bool {
 // checked against the round invariants and then forwarded to the hub (so
 // the -explain chain stays available for violation reports).
 //
-// Invariants:
+// Invariants (grant-follow and round-double-grant are policy-generic; the
+// rest are Custody-specific and attach only while the custody policy is
+// active — see the custody field):
 //
 //   - fairness-monotone: within one round, the locality-phase decision keys
 //     are lexicographically non-decreasing. Sound because an app's fairness
@@ -39,6 +41,14 @@ type checkObserver struct {
 	hub    obsv.AllocObserver // may be nil
 	slots  []int              // executor ID → slot count
 	report func(rule, detail string, app, job int)
+
+	// custody gates the Custody-specific rules (key-range,
+	// fairness-monotone, fill-monotone, runner-up-order, job-ordering):
+	// they encode Algorithm 1/2's pick order and mean nothing for the
+	// contender policies, which emit one decision per served application in
+	// their own order. grant-follow and round-double-grant are
+	// policy-generic and always checked. Toggled by the set-policy op.
+	custody bool
 
 	rounds     int
 	haveLoc    bool
@@ -60,6 +70,7 @@ func newCheckObserver(slots []int, hub obsv.AllocObserver, report func(rule, det
 		hub:        hub,
 		slots:      slots,
 		report:     report,
+		custody:    true,
 		grantApp:   map[int]int{},
 		grantCount: map[int]int{},
 	}
@@ -89,26 +100,28 @@ func (o *checkObserver) BeginRound(apps, execs int) {
 // Decide implements obsv.AllocObserver.
 func (o *checkObserver) Decide(d obsv.Decision) {
 	o.decisions++
-	if d.Key.Jobs < 0 || d.Key.Jobs > 1 || d.Key.Tasks < 0 || d.Key.Tasks > 1 {
-		o.fail("key-range", d.App, d.Job, "decision for app %d has key %s outside [0,1]", d.App, d.Key)
-	}
-	switch d.Phase {
-	case obsv.PhaseLocality:
-		if o.haveLoc && keyLess(d.Key, o.lastLoc) {
-			o.fail("fairness-monotone", d.App, d.Job, "locality pick of app %d (job %d) at key %s after key %s in the same round",
-				d.App, d.Job, d.Key, o.lastLoc)
+	if o.custody {
+		if d.Key.Jobs < 0 || d.Key.Jobs > 1 || d.Key.Tasks < 0 || d.Key.Tasks > 1 {
+			o.fail("key-range", d.App, d.Job, "decision for app %d has key %s outside [0,1]", d.App, d.Key)
 		}
-		o.haveLoc, o.lastLoc = true, d.Key
-	case obsv.PhaseFill:
-		if o.haveFill && keyLess(d.Key, o.lastFill) {
-			o.fail("fill-monotone", d.App, d.Job, "fill pick of app %d at key %s after key %s in the same round",
-				d.App, d.Key, o.lastFill)
+		switch d.Phase {
+		case obsv.PhaseLocality:
+			if o.haveLoc && keyLess(d.Key, o.lastLoc) {
+				o.fail("fairness-monotone", d.App, d.Job, "locality pick of app %d (job %d) at key %s after key %s in the same round",
+					d.App, d.Job, d.Key, o.lastLoc)
+			}
+			o.haveLoc, o.lastLoc = true, d.Key
+		case obsv.PhaseFill:
+			if o.haveFill && keyLess(d.Key, o.lastFill) {
+				o.fail("fill-monotone", d.App, d.Job, "fill pick of app %d at key %s after key %s in the same round",
+					d.App, d.Key, o.lastFill)
+			}
+			o.haveFill, o.lastFill = true, d.Key
 		}
-		o.haveFill, o.lastFill = true, d.Key
-	}
-	if d.RunnerUp >= 0 && keyLess(d.RunnerUpKey, d.Key) {
-		o.fail("runner-up-order", d.App, d.Job, "app %d picked at key %s over runner-up app %d with smaller key %s",
-			d.App, d.Key, d.RunnerUp, d.RunnerUpKey)
+		if d.RunnerUp >= 0 && keyLess(d.RunnerUpKey, d.Key) {
+			o.fail("runner-up-order", d.App, d.Job, "app %d picked at key %s over runner-up app %d with smaller key %s",
+				d.App, d.Key, d.RunnerUp, d.RunnerUpKey)
+		}
 	}
 	o.haveDec, o.dec = true, d
 	o.pickJobs = o.pickJobs[:0]
@@ -133,7 +146,7 @@ func (o *checkObserver) Grant(g obsv.Grant) {
 	if g.Exec >= 0 && g.Exec < len(o.slots) && o.grantCount[g.Exec] > o.slots[g.Exec] {
 		o.fail("round-double-grant", g.App, g.Job, "exec %d granted %d slots, has %d", g.Exec, o.grantCount[g.Exec], o.slots[g.Exec])
 	}
-	if g.Job >= 0 {
+	if o.custody && g.Job >= 0 {
 		n := len(o.pickJobs)
 		if n == 0 || o.pickJobs[n-1] != g.Job {
 			for _, served := range o.pickJobs {

@@ -1,0 +1,9 @@
+//go:build !custodymutatepolicy
+
+package modelcheck
+
+// policyMutationEnabled mirrors internal/policy's custodymutatepolicy build
+// tag, which inverts the Quincy policy's flow edge-cost sign. The smoke test
+// requiring the policy-generic invariants to catch it only runs when the
+// mutation is compiled in.
+const policyMutationEnabled = false

@@ -1,0 +1,7 @@
+//go:build custodymutatepolicy
+
+package modelcheck
+
+// policyMutationEnabled mirrors internal/policy's custodymutatepolicy build
+// tag; see policy_mutation_off.go.
+const policyMutationEnabled = true

@@ -1,0 +1,83 @@
+package modelcheck
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPolicyMutationSmoke proves the policy-generic invariants have teeth:
+// under the custodymutatepolicy build tag, internal/policy inverts the sign
+// of every app→executor edge cost in the Quincy flow network, so the
+// improving-only min-cost solver never augments and the policy starves every
+// application. The harness — with a set-policy quincy prefix so the mutated
+// policy is active from the first round — must (a) catch the starvation via
+// the plan-contract check (policy.Validate's non-starvation rule) within a
+// bounded seed scan, (b) shrink the counterexample to at most 12 commands,
+// and (c) round-trip it through a .repro file that replays to the same
+// digest. The Custody-specific invariants are detached while quincy is
+// active, so a detection here is attributable to the generic core alone.
+//
+// Run with: go test -tags custodymutatepolicy -run TestPolicyMutationSmoke ./internal/modelcheck
+func TestPolicyMutationSmoke(t *testing.T) {
+	if !policyMutationEnabled {
+		t.Skip("requires -tags custodymutatepolicy (seeded Quincy cost-sign bug not compiled in)")
+	}
+	const (
+		maxSeeds    = 80
+		cmdsPerSeed = 40
+		maxShrunk   = 12
+	)
+	// policyTarget(1) must resolve to quincy: the prefix arms the mutated
+	// policy before any generated command runs.
+	if policyTarget(1) != "quincy" {
+		t.Fatalf("policyTarget(1) = %q, want quincy (registry order changed?)", policyTarget(1))
+	}
+	for seed := uint64(1); seed <= maxSeeds; seed++ {
+		cmds := append([]Command{{Op: OpSetPolicy, A: 1}}, Generate(seed, cmdsPerSeed)...)
+		r := Run(seed, cmds)
+		if !r.Failed() {
+			continue
+		}
+		min := ShrinkResult(r)
+		if !min.Failed() {
+			t.Fatalf("seed %d: shrunken sequence no longer fails", seed)
+		}
+		var b bytes.Buffer
+		if err := min.WriteReport(&b); err != nil {
+			t.Fatalf("WriteReport: %v", err)
+		}
+		t.Logf("seed %d caught the policy mutation; minimal reproducer:\n%s", seed, b.String())
+		if len(min.Commands) > maxShrunk {
+			t.Fatalf("seed %d: shrunk to %d commands, want <= %d", seed, len(min.Commands), maxShrunk)
+		}
+		generic := false
+		for _, v := range min.Violations {
+			if v.Rule == "plancheck" || v.Rule == "audit" || strings.HasPrefix(v.Rule, "model-") || v.Rule == "round-double-grant" || v.Rule == "grant-follow" {
+				generic = true
+			}
+			if v.Rule == "selfcheck" {
+				t.Fatalf("seed %d: selfcheck fired under a non-custody policy (should be detached): %s", seed, v)
+			}
+		}
+		if !generic {
+			t.Fatalf("seed %d: no policy-generic rule fired; violations: %v", seed, min.Violations)
+		}
+		path := filepath.Join(t.TempDir(), "policy-cost-sign.repro")
+		if err := WriteRepro(path, Repro{Seed: min.Seed, Commands: min.Commands}); err != nil {
+			t.Fatalf("WriteRepro: %v", err)
+		}
+		got, err := ReadRepro(path)
+		if err != nil {
+			t.Fatalf("ReadRepro: %v", err)
+		}
+		replay := Run(got.Seed, got.Commands)
+		if !replay.Failed() || replay.Digest != min.Digest {
+			t.Fatalf(".repro does not replay (failed=%v digest %s vs %s)",
+				replay.Failed(), replay.Digest, min.Digest)
+		}
+		return
+	}
+	t.Fatalf("seeded Quincy cost-sign bug never detected in %d seeds — the generic invariants are blind", maxSeeds)
+}

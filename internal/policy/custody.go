@@ -1,0 +1,27 @@
+package policy
+
+import "repro/internal/core"
+
+// CustodyPolicy is the paper's two-level allocation (Algorithms 1 and 2)
+// exposed behind the Policy interface. It delegates to a warm core.Session,
+// so its plans are byte-identical to the manager's built-in path — the
+// manager in fact short-circuits the "custody" name to its own session and
+// never routes through this type; it exists so the registry is total and the
+// tournament can treat the default like any other contender.
+type CustodyPolicy struct {
+	sess *core.Session
+}
+
+// NewCustodyPolicy builds the default policy with a fresh warm session.
+func NewCustodyPolicy() *CustodyPolicy { return &CustodyPolicy{sess: core.NewSession()} }
+
+// Name implements Policy.
+func (*CustodyPolicy) Name() string { return Custody }
+
+// Allocate implements Policy by running Algorithm 1+2 on the warm session.
+func (p *CustodyPolicy) Allocate(apps []core.AppDemand, idle []core.ExecInfo, opts core.Options) core.Plan {
+	if p.sess == nil {
+		p.sess = core.NewSession()
+	}
+	return p.sess.Allocate(apps, idle, opts)
+}

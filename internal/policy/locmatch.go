@@ -1,0 +1,173 @@
+package policy
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/matching"
+	"repro/internal/obsv"
+)
+
+// hungarianCap bounds the Hungarian refinement to instances where O(n³) is
+// negligible; larger instances keep the Hopcroft-Karp matching, which is the
+// same cardinality without the weight refinement.
+const hungarianCap = 48
+
+// LocalityMatch is a locality-aware assignment policy after Zhao et al.
+// ("Data-Locality-Aware Task Assignment and Scheduling for Distributed Job
+// Executions"): applications are served in fairness order (least-localized
+// first, the MINLOCALITY order over static keys), and each application's
+// unsatisfied tasks are matched to the slots of idle executors on replica
+// nodes as a bipartite assignment problem. Hopcroft-Karp computes the
+// maximum-cardinality matching (the warm start, near-linear); when the
+// instance is small a Hungarian pass refines it to the maximum-weight
+// matching of the same cardinality, preferring cache-warm replicas and
+// genuine holders over rack fallbacks. Leftover budget is filled
+// demand-proportionally in the same fairness order.
+type LocalityMatch struct{}
+
+// Name implements Policy.
+func (LocalityMatch) Name() string { return "locmatch" }
+
+// Allocate implements Policy.
+func (LocalityMatch) Allocate(apps []core.AppDemand, idle []core.ExecInfo, opts core.Options) core.Plan {
+	in := newInst(apps, idle, opts)
+	apps = in.apps // canonical order, not input order
+	order := make([]int, len(apps))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		kx, ky := in.key(order[x]), in.key(order[y])
+		if kx.Jobs != ky.Jobs {
+			return kx.Jobs < ky.Jobs
+		}
+		if kx.Tasks != ky.Tasks {
+			return kx.Tasks < ky.Tasks
+		}
+		return apps[order[x]].App < apps[order[y]].App
+	})
+	for _, ai := range order {
+		in.matchApp(ai)
+	}
+	// Fill phase: remaining slots go to applications that still have
+	// pending work, least-localized first, one slot per pending task.
+	for _, ai := range order {
+		first := true
+		for in.want(ai) > 0 && in.headroom(ai) > 0 {
+			ei := in.pickExec(ai)
+			if ei < 0 {
+				break
+			}
+			if first {
+				in.decide(ai, obsv.PhaseFill, -1)
+				first = false
+			}
+			in.claim(ai, ei)
+			in.serveExec(ai, ei)
+		}
+	}
+	return in.finish()
+}
+
+// matchApp serves one application's locality demand: bipartite matching of
+// its unsatisfied tasks against the slots of unclaimed executors on their
+// replica nodes, capped by the executor budget.
+func (in *inst) matchApp(ai int) {
+	if in.unsat[ai] == 0 || in.headroom(ai) == 0 {
+		return
+	}
+	// Candidate columns: one per free slot of each unclaimed executor local
+	// to at least one unsatisfied task. Column order follows the first task
+	// that discovered the executor — deterministic (task order, then the
+	// demand's replica order, then the ascending byNode posting).
+	var cols []int                              // column → idle-executor index
+	colStart := make(map[int]int, len(in.idle)) // idle-exec index → first column
+	var tasks []int                             // rows → task index, unsatisfied only
+	for ti := range in.tasks[ai] {
+		if in.done[ai][ti] {
+			continue
+		}
+		tasks = append(tasks, ti)
+		for _, n := range in.tasks[ai][ti].td.Nodes {
+			for _, ei := range in.byNode[n] {
+				if in.owner[ei] != -1 || in.free[ei] == 0 {
+					continue
+				}
+				if _, ok := colStart[ei]; ok {
+					continue
+				}
+				colStart[ei] = len(cols)
+				for s := 0; s < in.free[ei]; s++ {
+					cols = append(cols, ei)
+				}
+			}
+		}
+	}
+	if len(tasks) == 0 || len(cols) == 0 {
+		return
+	}
+	// Adjacency via the byNode index: a task row connects to every slot
+	// column of a candidate executor on one of its replica nodes.
+	adj := make([][]int, len(tasks))
+	for r, ti := range tasks {
+		for _, n := range in.tasks[ai][ti].td.Nodes {
+			for _, ei := range in.byNode[n] {
+				if cs, ok := colStart[ei]; ok {
+					for s := 0; s < in.free[ei]; s++ {
+						adj[r] = append(adj[r], cs+s)
+					}
+				}
+			}
+		}
+	}
+	matchL, size := matching.HopcroftKarp(len(tasks), len(cols), adj)
+	if size == 0 {
+		return
+	}
+	if len(tasks) <= hungarianCap && len(cols) <= hungarianCap {
+		// Refinement: same cardinality (the base weight dwarfs the bonuses,
+		// so maximum weight implies maximum cardinality at these sizes),
+		// but cache-warm replicas and true holders outrank rack fallbacks.
+		weights := make([][]float64, len(tasks))
+		for r, ti := range tasks {
+			weights[r] = make([]float64, len(cols))
+			td := in.tasks[ai][ti].td
+			for c, ei := range cols {
+				node := in.idle[ei].Node
+				if !localTo(td, node) {
+					weights[r][c] = math.Inf(-1)
+					continue
+				}
+				w := 100.0
+				if warmOn(td, node) {
+					w += 0.5
+				}
+				if td.Fallback {
+					w -= 0.25
+				}
+				weights[r][c] = w
+			}
+		}
+		if refined, _ := matching.MaxWeightAssignment(weights); refined != nil {
+			matchL = refined
+		}
+	}
+	// Apply in task order, claiming executors as their first slot is used
+	// and stopping new claims at the budget.
+	in.decide(ai, obsv.PhaseLocality, -1)
+	for r, ti := range tasks {
+		if matchL[r] < 0 {
+			continue
+		}
+		ei := cols[matchL[r]]
+		if in.owner[ei] == -1 && in.headroom(ai) == 0 {
+			continue // budget exhausted; skip matches needing a new claim
+		}
+		if in.free[ei] == 0 {
+			continue
+		}
+		in.grantLocal(ai, ei, ti)
+	}
+}

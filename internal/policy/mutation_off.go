@@ -1,0 +1,8 @@
+//go:build !custodymutatepolicy
+
+package policy
+
+// mutatePolicyCostSign gates the seeded Quincy bug used to prove the
+// policy-generic modelcheck invariants have teeth. Off in normal builds;
+// `go test -tags custodymutatepolicy ./internal/modelcheck` turns it on.
+const mutatePolicyCostSign = false

@@ -1,0 +1,10 @@
+//go:build custodymutatepolicy
+
+package policy
+
+// mutatePolicyCostSign inverts the sign of every app→executor edge cost in
+// the Quincy flow network. All edges turn non-negative, so the improving-only
+// min-cost solver finds no augmenting path worth taking and the policy
+// returns empty plans — starvation the policy-generic non-starvation
+// invariant must catch (see internal/modelcheck/policy_mutation_test.go).
+const mutatePolicyCostSign = true

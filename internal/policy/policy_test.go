@@ -1,0 +1,221 @@
+package policy
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hdfs"
+	"repro/internal/xrand"
+)
+
+// randInstance builds a small random allocation instance: a handful of apps
+// with jobbed task demands over a small cluster, budgets and history drawn
+// from the generator. Shapes cover the edges: apps with no demand, apps
+// over budget, replica lists pointing at nodes with no executors.
+func randInstance(rng *xrand.Rand) ([]core.AppDemand, []core.ExecInfo) {
+	nodes := 2 + rng.Intn(6)
+	var idle []core.ExecInfo
+	nExec := rng.Intn(nodes * 2)
+	for e := 0; e < nExec; e++ {
+		idle = append(idle, core.ExecInfo{ID: e, Node: rng.Intn(nodes), Slots: rng.Intn(3)})
+	}
+	nApps := 1 + rng.Intn(4)
+	var apps []core.AppDemand
+	block := 0
+	for a := 0; a < nApps; a++ {
+		d := core.AppDemand{
+			App:        a,
+			Budget:     rng.Intn(nExec + 2),
+			Held:       rng.Intn(3),
+			ExtraTasks: rng.Intn(3),
+			LocalJobs:  rng.Intn(3),
+			TotalJobs:  2 + rng.Intn(4),
+			LocalTasks: rng.Intn(5),
+			TotalTasks: 4 + rng.Intn(8),
+		}
+		for j := 0; j < rng.Intn(4); j++ {
+			jd := core.JobDemand{Job: j}
+			for t := 0; t < 1+rng.Intn(5); t++ {
+				reps := make([]int, 1+rng.Intn(3))
+				for r := range reps {
+					reps[r] = rng.Intn(nodes + 2) // may point off-cluster
+				}
+				jd.Tasks = append(jd.Tasks, core.TaskDemand{Task: t, Block: hdfs.BlockID(block), Nodes: reps})
+				block++
+			}
+			d.Jobs = append(d.Jobs, jd)
+		}
+		apps = append(apps, d)
+	}
+	return apps, idle
+}
+
+// TestCustodyPolicyByteIdentical: the registry's custody policy is the same
+// allocator as core.Allocate — byte-identical plans on random instances.
+func TestCustodyPolicyByteIdentical(t *testing.T) {
+	p, err := New(Custody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(11).Fork("policy-custody-ident")
+	opts := core.DefaultOptions()
+	for trial := 0; trial < 200; trial++ {
+		apps, idle := randInstance(rng)
+		got := p.Allocate(apps, idle, opts)
+		want := core.Allocate(apps, idle, opts)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: custody policy diverged from core.Allocate\n got  %#v\n want %#v", trial, got, want)
+		}
+	}
+}
+
+// TestPoliciesHonorGenericContract: every registered policy's plans pass
+// Validate on random instances — the same generic invariants the model
+// checker enforces live.
+func TestPoliciesHonorGenericContract(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			p, err := New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := xrand.New(7).Fork("policy-contract-" + name)
+			opts := core.DefaultOptions()
+			for trial := 0; trial < 300; trial++ {
+				apps, idle := randInstance(rng)
+				plan := p.Allocate(apps, idle, opts)
+				if err := Validate(apps, idle, plan, opts); err != nil {
+					t.Fatalf("trial %d: %v\nplan: %#v", trial, err, plan)
+				}
+			}
+		})
+	}
+}
+
+// TestPoliciesDeterministic: the same instance yields a byte-identical plan
+// on repeated calls and on a fresh policy instance.
+func TestPoliciesDeterministic(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			rng := xrand.New(23).Fork("policy-det-" + name)
+			opts := core.DefaultOptions()
+			for trial := 0; trial < 50; trial++ {
+				apps, idle := randInstance(rng)
+				p1, _ := New(name)
+				p2, _ := New(name)
+				a := p1.Allocate(apps, idle, opts)
+				b := p2.Allocate(apps, idle, opts)
+				c := p1.Allocate(apps, idle, opts) // warm repeat
+				if !reflect.DeepEqual(a, b) || !reflect.DeepEqual(a, c) {
+					t.Fatalf("trial %d: plans differ across instances/repeats", trial)
+				}
+			}
+		})
+	}
+}
+
+// TestPoliciesUseLocality: on an instance where every task's block is on a
+// distinct executor's node, every contender achieves full locality — the
+// policies are not just valid but actually data-aware.
+func TestPoliciesUseLocality(t *testing.T) {
+	const n = 6
+	var idle []core.ExecInfo
+	for e := 0; e < n; e++ {
+		idle = append(idle, core.ExecInfo{ID: e, Node: e, Slots: 1})
+	}
+	app := core.AppDemand{App: 0, Budget: n, TotalJobs: 1, TotalTasks: n}
+	jd := core.JobDemand{Job: 0}
+	for tsk := 0; tsk < n; tsk++ {
+		jd.Tasks = append(jd.Tasks, core.TaskDemand{Task: tsk, Block: hdfs.BlockID(tsk), Nodes: []int{tsk}})
+	}
+	app.Jobs = []core.JobDemand{jd}
+	apps := []core.AppDemand{app}
+	for _, name := range Names() {
+		p, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan := p.Allocate(apps, idle, core.DefaultOptions())
+		if got := plan.LocalCount(); got != n {
+			t.Errorf("%s: %d/%d local assignments on a perfectly matchable instance", name, got, n)
+		}
+	}
+}
+
+// TestValidateRejectsBadPlans: Validate has teeth against each class of
+// generic-contract breach.
+func TestValidateRejectsBadPlans(t *testing.T) {
+	idle := []core.ExecInfo{{ID: 0, Node: 0, Slots: 1}, {ID: 1, Node: 1, Slots: 2}}
+	apps := []core.AppDemand{{
+		App: 0, Budget: 1,
+		Jobs:      []core.JobDemand{{Job: 0, Tasks: []core.TaskDemand{{Task: 0, Block: 7, Nodes: []int{1}}}}},
+		TotalJobs: 1, TotalTasks: 1,
+	}, {
+		App: 1, Budget: 2, ExtraTasks: 1,
+	}}
+	opts := core.DefaultOptions()
+	cases := []struct {
+		name string
+		plan core.Plan
+		want string
+	}{
+		{"unknown-exec", core.Plan{Assignments: []core.Assignment{{App: 0, Exec: 9, Node: 0, Job: -1, Task: -1}}}, "not in the idle snapshot"},
+		{"wrong-node", core.Plan{Assignments: []core.Assignment{{App: 0, Exec: 0, Node: 1, Job: -1, Task: -1}}}, "idle snapshot says node"},
+		{"unknown-app", core.Plan{Assignments: []core.Assignment{{App: 9, Exec: 0, Node: 0, Job: -1, Task: -1}}}, "unknown app"},
+		{"split-exec", core.Plan{Assignments: []core.Assignment{
+			{App: 0, Exec: 1, Node: 1, Job: 0, Task: 0, Block: 7, Local: true},
+			{App: 1, Exec: 1, Node: 1, Job: -1, Task: -1}}}, "splits executor"},
+		{"over-slots", core.Plan{Assignments: []core.Assignment{
+			{App: 1, Exec: 0, Node: 0, Job: -1, Task: -1},
+			{App: 1, Exec: 0, Node: 0, Job: -1, Task: -1}}}, "slots of executor"},
+		{"over-budget", core.Plan{Assignments: []core.Assignment{
+			{App: 0, Exec: 0, Node: 0, Job: -1, Task: -1},
+			{App: 0, Exec: 1, Node: 1, Job: 0, Task: 0, Block: 7, Local: true}}}, "over budget headroom"},
+		{"bad-local-node", core.Plan{Assignments: []core.Assignment{
+			{App: 0, Exec: 0, Node: 0, Job: 0, Task: 0, Block: 7, Local: true}}}, "not among its replica nodes"},
+		{"bad-local-task", core.Plan{Assignments: []core.Assignment{
+			{App: 0, Exec: 1, Node: 1, Job: 0, Task: 5, Block: 7, Local: true}}}, "unknown task"},
+		{"wrong-block", core.Plan{Assignments: []core.Assignment{
+			{App: 0, Exec: 1, Node: 1, Job: 0, Task: 0, Block: 8, Local: true}}}, "demand says"},
+		{"double-local", core.Plan{Assignments: []core.Assignment{
+			{App: 0, Exec: 1, Node: 1, Job: 0, Task: 0, Block: 7, Local: true},
+			{App: 0, Exec: 1, Node: 1, Job: 0, Task: 0, Block: 7, Local: true}}}, "locally twice"},
+		{"starvation", core.Plan{}, "starvation"},
+	}
+	for _, tc := range cases {
+		err := Validate(apps, idle, tc.plan, opts)
+		if err == nil {
+			t.Errorf("%s: Validate accepted a bad plan", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	// And a good plan passes.
+	good := core.Plan{Assignments: []core.Assignment{
+		{App: 0, Exec: 1, Node: 1, Job: 0, Task: 0, Block: 7, Local: true}}}
+	if err := Validate(apps, idle, good, opts); err != nil {
+		t.Errorf("good plan rejected: %v", err)
+	}
+}
+
+// TestRegistry: Names round-trips through New; unknown names error.
+func TestRegistry(t *testing.T) {
+	for _, name := range Names() {
+		p, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Errorf("New(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if _, err := New("nope"); err == nil {
+		t.Error("New(nope) did not error")
+	}
+}

@@ -1,0 +1,74 @@
+package policy
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obsv"
+	"repro/internal/xrand"
+)
+
+// traceObserver stringifies the provenance stream so two runs can be
+// compared byte-for-byte, plan and decisions together.
+type traceObserver struct{ b strings.Builder }
+
+func (o *traceObserver) BeginRound(apps, execs int) { fmt.Fprintf(&o.b, "round %d %d\n", apps, execs) }
+func (o *traceObserver) Decide(d obsv.Decision)     { fmt.Fprintf(&o.b, "decide %#v\n", d) }
+func (o *traceObserver) Grant(g obsv.Grant)         { fmt.Fprintf(&o.b, "grant %#v\n", g) }
+
+// shuffledInstance returns deep-enough copies with every order-insensitive
+// slice permuted — the app list, each app's job list, and the idle list —
+// mirroring core's shuffle contract. Task order within a job is meaningful
+// input and kept.
+func shuffledInstance(rng *xrand.Rand, apps []core.AppDemand, idle []core.ExecInfo) ([]core.AppDemand, []core.ExecInfo) {
+	as := append([]core.AppDemand(nil), apps...)
+	rng.Shuffle(len(as), func(i, j int) { as[i], as[j] = as[j], as[i] })
+	for i := range as {
+		jobs := append([]core.JobDemand(nil), as[i].Jobs...)
+		rng.Shuffle(len(jobs), func(x, y int) { jobs[x], jobs[y] = jobs[y], jobs[x] })
+		as[i].Jobs = jobs
+	}
+	es := append([]core.ExecInfo(nil), idle...)
+	rng.Shuffle(len(es), func(i, j int) { es[i], es[j] = es[j], es[i] })
+	return as, es
+}
+
+// TestPoliciesDeterministicUnderShuffle extends core's shuffle contract to
+// every policy in the registry: 20 trials with independently shuffled input
+// slices must produce a byte-identical provenance stream and plan to the
+// canonical ordering. Goroutine-free by construction, this pins that no
+// policy leaks input order into its output — the property the per-policy
+// golden traces rely on.
+func TestPoliciesDeterministicUnderShuffle(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			rng := xrand.New(0x90110).Fork("policy-shuffle-" + name)
+			for inst := 0; inst < 10; inst++ {
+				apps, idle := randInstance(rng)
+				run := func(a []core.AppDemand, e []core.ExecInfo) string {
+					p, err := New(name)
+					if err != nil {
+						t.Fatal(err)
+					}
+					opts := core.DefaultOptions()
+					obs := &traceObserver{}
+					opts.Observer = obs
+					plan := p.Allocate(a, e, opts)
+					return obs.b.String() + fmt.Sprintf("%#v", plan)
+				}
+				want := run(apps, idle)
+				shuf := rng.Fork(fmt.Sprintf("shuffle-%d", inst))
+				for trial := 0; trial < 20; trial++ {
+					as, es := shuffledInstance(shuf, apps, idle)
+					if got := run(as, es); got != want {
+						t.Fatalf("instance %d trial %d: trace differs under shuffled input\n got: %s\nwant: %s",
+							inst, trial, got, want)
+					}
+				}
+			}
+		})
+	}
+}

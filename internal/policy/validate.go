@@ -1,0 +1,132 @@
+package policy
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Validate checks the policy-generic plan invariants — the contract every
+// Policy implementation owes the manager, independent of strategy:
+//
+//   - membership: every granted executor comes from the idle snapshot, with
+//     the matching node;
+//   - single ownership: an executor's slots go to exactly one application,
+//     never exceeding its slot count;
+//   - budget: an application claims at most max(0, Budget−Held) new
+//     executors;
+//   - locality integrity: a Local assignment names a real (job, task) of the
+//     application's demand, lands on a node the demand advertised for that
+//     task, carries the task's block, and no task is served locally twice;
+//   - non-starvation (only when opts.FillToBudget): if any application has
+//     outstanding demand and budget headroom while idle executors exist, the
+//     plan is non-empty.
+//
+// The Custody-specific properties (fairness-key monotonicity, Algorithm 2
+// job ordering, the reference-oracle differential) are deliberately absent:
+// they live in the modelcheck observer and the manager's SelfCheck, attached
+// only when the custody policy is active (DESIGN.md §16).
+func Validate(apps []core.AppDemand, idle []core.ExecInfo, plan core.Plan, opts core.Options) error {
+	type execState struct {
+		node  int
+		slots int
+		app   int // granted app, or -1
+		used  int
+	}
+	execs := make(map[int]*execState, len(idle))
+	for _, e := range idle {
+		execs[e.ID] = &execState{node: e.Node, slots: slotsOf(e), app: -1}
+	}
+	appIdx := make(map[int]int, len(apps))
+	for ai := range apps {
+		appIdx[apps[ai].App] = ai
+	}
+	newExecs := make([]int, len(apps))
+	localSeen := map[[3]int]bool{} // (app, job, task) served locally
+
+	for i, as := range plan.Assignments {
+		es, ok := execs[as.Exec]
+		if !ok {
+			return fmt.Errorf("policy: plan[%d] grants executor %d not in the idle snapshot", i, as.Exec)
+		}
+		if es.node != as.Node {
+			return fmt.Errorf("policy: plan[%d] places executor %d on node %d, idle snapshot says node %d", i, as.Exec, as.Node, es.node)
+		}
+		ai, ok := appIdx[as.App]
+		if !ok {
+			return fmt.Errorf("policy: plan[%d] grants to unknown app %d", i, as.App)
+		}
+		if es.app == -1 {
+			es.app = as.App
+			newExecs[ai]++
+		} else if es.app != as.App {
+			return fmt.Errorf("policy: plan[%d] splits executor %d between apps %d and %d", i, as.Exec, es.app, as.App)
+		}
+		es.used++
+		if es.used > es.slots {
+			return fmt.Errorf("policy: plan[%d] grants %d slots of executor %d, which has %d", i, es.used, as.Exec, es.slots)
+		}
+		if as.Local {
+			td := findTask(&apps[ai], as.Job, as.Task)
+			if td == nil {
+				return fmt.Errorf("policy: plan[%d] local grant names unknown task %d.%d.%d", i, as.App, as.Job, as.Task)
+			}
+			if td.Block != as.Block {
+				return fmt.Errorf("policy: plan[%d] local grant for task %d.%d.%d carries block %d, demand says %d", i, as.App, as.Job, as.Task, as.Block, td.Block)
+			}
+			if !localTo(td, as.Node) {
+				return fmt.Errorf("policy: plan[%d] marks task %d.%d.%d local on node %d, not among its replica nodes %v", i, as.App, as.Job, as.Task, as.Node, td.Nodes)
+			}
+			key := [3]int{as.App, as.Job, as.Task}
+			if localSeen[key] {
+				return fmt.Errorf("policy: plan[%d] serves task %d.%d.%d locally twice", i, as.App, as.Job, as.Task)
+			}
+			localSeen[key] = true
+		}
+	}
+	for ai := range apps {
+		if limit := apps[ai].Budget - apps[ai].Held; newExecs[ai] > max0(limit) {
+			return fmt.Errorf("policy: app %d claims %d new executors over budget headroom %d", apps[ai].App, newExecs[ai], max0(limit))
+		}
+	}
+	if opts.FillToBudget && len(plan.Assignments) == 0 && len(idle) > 0 {
+		for ai := range apps {
+			if apps[ai].Held >= apps[ai].Budget {
+				continue
+			}
+			if pendingTasks(&apps[ai])+apps[ai].ExtraTasks > 0 {
+				return fmt.Errorf("policy: starvation — app %d has pending demand and budget headroom, %d executors idle, empty plan", apps[ai].App, len(idle))
+			}
+		}
+	}
+	return nil
+}
+
+func findTask(d *core.AppDemand, job, task int) *core.TaskDemand {
+	for ji := range d.Jobs {
+		if d.Jobs[ji].Job != job {
+			continue
+		}
+		for ti := range d.Jobs[ji].Tasks {
+			if d.Jobs[ji].Tasks[ti].Task == task {
+				return &d.Jobs[ji].Tasks[ti]
+			}
+		}
+	}
+	return nil
+}
+
+func pendingTasks(d *core.AppDemand) int {
+	n := 0
+	for ji := range d.Jobs {
+		n += len(d.Jobs[ji].Tasks)
+	}
+	return n
+}
+
+func max0(v int) int {
+	if v < 0 {
+		return 0
+	}
+	return v
+}

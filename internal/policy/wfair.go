@@ -1,0 +1,96 @@
+package policy
+
+import (
+	"repro/internal/core"
+	"repro/internal/obsv"
+)
+
+// WeightedFair is a per-server weighted fair allocator after Shan et al.
+// ("Online Scheduling of Spark Workloads with Mesos using Different Fair
+// Allocation Algorithms"): progressive filling where each application's
+// entitlement is weighted by its outstanding demand. The allocator
+// repeatedly grants one executor to the application with the smallest
+// held-executors/weight ratio (ties: application ID), preferring the
+// lowest-ID idle executor on a server that stores a block of one of the
+// application's unsatisfied tasks — the per-server dimension — and falling
+// back to the lowest-ID idle executor otherwise. An application leaves the
+// race when its budget σ_i or its residual demand is exhausted.
+type WeightedFair struct{}
+
+// Name implements Policy.
+func (WeightedFair) Name() string { return "wfair" }
+
+// Allocate implements Policy.
+func (WeightedFair) Allocate(apps []core.AppDemand, idle []core.ExecInfo, opts core.Options) core.Plan {
+	in := newInst(apps, idle, opts)
+	apps, idle = in.apps, in.idle // canonical order, not input order
+	// Demand weights are frozen at round start: the fairness target is
+	// proportional to what each application asked for, not to what it has
+	// been granted so far.
+	weight := make([]int, len(apps))
+	for ai := range apps {
+		weight[ai] = len(in.tasks[ai]) + apps[ai].ExtraTasks
+	}
+	nFree := len(idle)
+	for nFree > 0 {
+		// Progressive filling: the next executor goes to the eligible
+		// application with the smallest weighted share. held counts live
+		// executors (Held) plus this round's claims, so the comparison is
+		// (Held+claimed)/weight, evaluated cross-multiplied to stay exact.
+		best := -1
+		for ai := range apps {
+			if weight[ai] == 0 || in.headroom(ai) == 0 || in.want(ai) == 0 {
+				continue
+			}
+			if best < 0 {
+				best = ai
+				continue
+			}
+			ha, hb := apps[ai].Held+in.claimed[ai], apps[best].Held+in.claimed[best]
+			if ha*weight[best] < hb*weight[ai] {
+				best = ai
+			}
+		}
+		if best < 0 {
+			break
+		}
+		ei := in.pickExec(best)
+		if ei < 0 {
+			break
+		}
+		in.decide(best, obsv.PhaseLocality, -1)
+		in.claim(best, ei)
+		in.serveExec(best, ei)
+		nFree--
+	}
+	return in.finish()
+}
+
+// pickExec chooses the executor the app should claim next: the lowest-ID
+// unclaimed executor on a node storing a block of one of the app's
+// unsatisfied tasks, else the lowest-ID unclaimed executor. Returns -1 when
+// none remains.
+func (in *inst) pickExec(ai int) int {
+	best := -1
+	for ti := range in.tasks[ai] {
+		if in.done[ai][ti] {
+			continue
+		}
+		for _, n := range in.tasks[ai][ti].td.Nodes {
+			for _, ei := range in.byNode[n] {
+				if in.owner[ei] == -1 && (best < 0 || in.idle[ei].ID < in.idle[best].ID) {
+					best = ei
+				}
+			}
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	for ei := range in.idle {
+		if in.owner[ei] == -1 && (best < 0 || in.idle[ei].ID < in.idle[best].ID) {
+			best = ei
+		}
+	}
+	return best
+}
